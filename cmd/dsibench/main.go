@@ -1,0 +1,47 @@
+// Command dsibench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dsibench [-experiment all|tab1|fig3|fig4|fig5|tab2|tab3] [-procs N] [-test]
+//
+// Output is plain text, one table per artifact, with execution times
+// normalized exactly as the paper reports them. Expect the full suite at
+// paper scale to take several minutes: it simulates a 32-processor machine
+// across ~60 configurations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dsisim/internal/experiments"
+	"dsisim/internal/workload"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "artifact to regenerate: all, or one of tab1 fig3 fig4 fig5 tab2 tab3")
+	procs := flag.Int("procs", 32, "simulated processors")
+	testScale := flag.Bool("test", false, "use tiny test-scale inputs (fast smoke run)")
+	flag.Parse()
+
+	o := experiments.Options{Processors: *procs}
+	if *testScale {
+		o.Scale = workload.ScaleTest
+	}
+
+	names := experiments.Artifacts()
+	if *exp != "all" {
+		names = []string{*exp}
+	}
+	for _, name := range names {
+		start := time.Now()
+		out, err := experiments.Run(name, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsibench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+}

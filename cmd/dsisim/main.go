@@ -1,0 +1,90 @@
+// Command dsisim runs one simulation and prints a detailed report: timing
+// breakdown per the paper's Figure 3 categories, message counts by kind,
+// and DSI activity.
+//
+// Usage:
+//
+//	dsisim -workload em3d -protocol V [-procs 32] [-cache 262144] [-latency 100] [-test]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"dsisim"
+	"dsisim/internal/netsim"
+	"dsisim/internal/stats"
+)
+
+func main() {
+	wl := flag.String("workload", "em3d", "workload: "+strings.Join(dsisim.Workloads(), " "))
+	protoLabel := flag.String("protocol", "SC", "protocol: SC W S V V-FIFO S-FIFO W+DSI W+DSI-S")
+	procs := flag.Int("procs", 32, "simulated processors")
+	cacheBytes := flag.Int("cache", 256*1024, "cache size per node in bytes")
+	latency := flag.Int64("latency", 100, "network latency in cycles")
+	testScale := flag.Bool("test", false, "use tiny test-scale inputs")
+	flag.Parse()
+
+	cfg := dsisim.Config{
+		Workload:       *wl,
+		Protocol:       dsisim.Protocol(*protoLabel),
+		Processors:     *procs,
+		CacheBytes:     *cacheBytes,
+		NetworkLatency: *latency,
+	}
+	if *testScale {
+		cfg.Scale = dsisim.ScaleTest
+	}
+	res, err := dsisim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsisim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload   %s\nprotocol   %s\nprocessors %d\ncache      %d bytes, 4-way, 32-byte blocks\nnetwork    %d cycles\n\n",
+		*wl, *protoLabel, *procs, *cacheBytes, *latency)
+	fmt.Printf("execution time (measured region): %d cycles\n", res.ExecTime)
+	fmt.Printf("total time (with initialization): %d cycles\n", res.TotalTime)
+	fmt.Printf("barrier episodes: %d\n\n", res.Barriers)
+
+	bt := stats.Table{Title: "cycle breakdown (all processors)", Header: []string{"category", "cycles", "share"}}
+	for _, c := range stats.Categories() {
+		v := res.Breakdown.Cycles[c]
+		if v == 0 {
+			continue
+		}
+		bt.AddRow(c.String(), fmt.Sprint(v), stats.Pct(res.Breakdown.Share(c)))
+	}
+	fmt.Println(bt.Render())
+
+	mt := stats.Table{Title: "network messages (measured region)", Header: []string{"kind", "count"}}
+	type kv struct {
+		k netsim.Kind
+		v int64
+	}
+	var kinds []kv
+	for k, v := range res.Messages.ByKind {
+		if v > 0 {
+			kinds = append(kinds, kv{netsim.Kind(k), v})
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].v > kinds[j].v })
+	for _, e := range kinds {
+		mt.AddRow(e.k.String(), fmt.Sprint(e.v))
+	}
+	mt.AddRow("TOTAL", fmt.Sprint(res.Messages.Total()))
+	mt.AddRow("invalidation-class", fmt.Sprint(res.Messages.Invalidation()))
+	fmt.Println(mt.Render())
+
+	var si, tear, flushes int64
+	for _, cs := range res.Cache {
+		si += cs.SIReceived
+		tear += cs.TearOffRecv
+		flushes += cs.SyncFlushes
+	}
+	fmt.Printf("DSI activity: %d marked blocks received (%d tear-off), %d sync flushes, %d FIFO displacements\n",
+		si, tear, flushes, res.FIFODisplacements)
+}

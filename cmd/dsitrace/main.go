@@ -1,0 +1,84 @@
+// Command dsitrace records a workload's operation stream and writes it as
+// text, or summarizes / replays a previously recorded trace.
+//
+// Usage:
+//
+//	dsitrace -workload sparse -test > sparse.trace     # record
+//	dsitrace -summary < sparse.trace                   # histogram
+//	dsitrace -replay -protocol V < sparse.trace        # re-simulate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dsisim/internal/core"
+	"dsisim/internal/machine"
+	"dsisim/internal/proto"
+	"dsisim/internal/trace"
+	"dsisim/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "", "workload to record (writes the trace to stdout)")
+	procs := flag.Int("procs", 8, "simulated processors")
+	testScale := flag.Bool("test", false, "use tiny test-scale inputs")
+	summary := flag.Bool("summary", false, "summarize a trace from stdin")
+	replay := flag.Bool("replay", false, "replay a trace from stdin and report execution time")
+	protoLabel := flag.String("protocol", "SC", "protocol for -replay: SC or V")
+	flag.Parse()
+
+	switch {
+	case *wl != "":
+		scale := workload.ScalePaper
+		if *testScale {
+			scale = workload.ScaleTest
+		}
+		prog, err := workload.New(*wl, scale)
+		fail(err)
+		tr, res := trace.Record(machine.Config{Processors: *procs}, prog)
+		if res.Failed() {
+			fail(fmt.Errorf("recording run failed: %s", res.Errors[0]))
+		}
+		fail(tr.Write(os.Stdout))
+	case *summary:
+		tr, err := trace.Read(os.Stdin)
+		fail(err)
+		fmt.Printf("workload %s, %d processors, %d events\n", tr.Workload, tr.Procs, len(tr.Events))
+		counts := tr.Counts()
+		kinds := make([]string, 0, len(counts))
+		for k := range counts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Printf("  %-8s %d\n", k, counts[k])
+		}
+	case *replay:
+		tr, err := trace.Read(os.Stdin)
+		fail(err)
+		cfg := machine.Config{Processors: tr.Procs}
+		if *protoLabel == "V" {
+			cfg.Policy = core.Policy{Identifier: core.Versions{}, UpgradeExemption: true}
+		}
+		cfg.Consistency = proto.SC
+		res := machine.New(cfg).Run(trace.NewReplay(tr))
+		if res.Failed() {
+			fail(fmt.Errorf("replay failed: %s", res.Errors[0]))
+		}
+		fmt.Printf("replayed %d events on %d processors: %d cycles, %d messages\n",
+			len(tr.Events), tr.Procs, res.TotalTime, res.Messages.Total())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsitrace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,243 @@
+// Package dsisim is a from-scratch reproduction of "Dynamic
+// Self-Invalidation: Reducing Coherence Overhead in Shared-Memory
+// Multiprocessors" (Lebeck & Wood, ISCA 1995): an execution-driven
+// simulator of a directory-based write-invalidate multiprocessor with the
+// paper's DSI extensions — identification by additional directory states or
+// 4-bit version numbers, self-invalidation by FIFO buffer or
+// flush-at-synchronization, and untracked tear-off blocks under weak
+// consistency.
+//
+// The package is the public facade: configure a simulated machine, pick a
+// workload (the paper's five applications are built in) or supply your own
+// kernel, and Run it:
+//
+//	res, err := dsisim.Run(dsisim.Config{
+//	    Workload: "em3d",
+//	    Protocol: dsisim.V, // SC + DSI with version numbers
+//	})
+//
+// Protocol labels follow the paper's figures: SC (base sequential
+// consistency), W (weak consistency with a 16-entry coalescing write
+// buffer), S (SC + DSI using additional states), V (SC + DSI using version
+// numbers), VFIFO (V with a 64-entry FIFO instead of flush-at-sync), and
+// WDSI (W + DSI with tear-off blocks).
+package dsisim
+
+import (
+	"fmt"
+
+	"dsisim/internal/core"
+	"dsisim/internal/cpu"
+	"dsisim/internal/event"
+	"dsisim/internal/machine"
+	"dsisim/internal/mem"
+	"dsisim/internal/proto"
+	"dsisim/internal/stats"
+	"dsisim/internal/workload"
+)
+
+// Protocol selects one of the paper's protocol configurations.
+type Protocol string
+
+// The protocols evaluated in the paper, labeled as in its figures.
+const (
+	// SC is the base sequentially consistent full-map protocol.
+	SC Protocol = "SC"
+	// W is weak consistency with a 16-entry coalescing write buffer.
+	W Protocol = "W"
+	// S is SC plus DSI identified by additional directory states,
+	// self-invalidating at synchronization operations.
+	S Protocol = "S"
+	// V is SC plus DSI identified by 4-bit version numbers,
+	// self-invalidating at synchronization operations.
+	V Protocol = "V"
+	// VFIFO is V with the 64-entry FIFO self-invalidation mechanism.
+	VFIFO Protocol = "V-FIFO"
+	// SFIFO is S with the 64-entry FIFO self-invalidation mechanism.
+	SFIFO Protocol = "S-FIFO"
+	// WDSI is W plus DSI (version numbers) with tear-off blocks.
+	WDSI Protocol = "W+DSI"
+	// WDSIStates is W plus DSI (additional states) with tear-off blocks.
+	WDSIStates Protocol = "W+DSI-S"
+	// VTearOff is V with sequentially consistent tear-off blocks (§3.3: at
+	// most one per cache, invalidated at the next miss).
+	VTearOff Protocol = "V-TO"
+	// VHistory is SC with cache-side identification only (§3.1): each cache
+	// marks re-fetched blocks from its own invalidation history; the
+	// directory runs the unmodified base protocol.
+	VHistory Protocol = "HIST"
+	// VNaive is V with the naive sequential-scan flush (the §4.2 strawman
+	// the flash-clear/linked-list circuits improve on).
+	VNaive Protocol = "V-naive"
+	// MIG is SC with the adaptive migratory-sharing optimization (the
+	// related-work baseline the paper calls complementary): reads of
+	// migrating blocks are granted exclusive.
+	MIG Protocol = "MIG"
+	// MIGV combines migratory detection with V — the complementary
+	// composition §2 of the paper suggests.
+	MIGV Protocol = "MIG+V"
+)
+
+// Protocols returns every defined protocol label.
+func Protocols() []Protocol {
+	return []Protocol{SC, W, S, V, VFIFO, SFIFO, WDSI, WDSIStates, VTearOff, VHistory, VNaive, MIG, MIGV}
+}
+
+// FIFOEntries is the self-invalidation FIFO capacity the paper evaluates.
+const FIFOEntries = 64
+
+// policyFor translates a protocol label into machine configuration pieces.
+func policyFor(p Protocol) (proto.Consistency, core.Policy, error) {
+	fifo := func() core.Mechanism { return core.NewFIFO(FIFOEntries) }
+	switch p {
+	case SC:
+		return proto.SC, core.Policy{}, nil
+	case W:
+		return proto.WC, core.Policy{}, nil
+	case S:
+		return proto.SC, core.Policy{Identifier: core.States{}, UpgradeExemption: true}, nil
+	case V:
+		return proto.SC, core.Policy{Identifier: core.Versions{}, UpgradeExemption: true}, nil
+	case VFIFO:
+		return proto.SC, core.Policy{Identifier: core.Versions{}, NewMechanism: fifo, UpgradeExemption: true}, nil
+	case SFIFO:
+		return proto.SC, core.Policy{Identifier: core.States{}, NewMechanism: fifo, UpgradeExemption: true}, nil
+	case WDSI:
+		return proto.WC, core.Policy{Identifier: core.Versions{}, TearOff: true}, nil
+	case WDSIStates:
+		return proto.WC, core.Policy{Identifier: core.States{}, TearOff: true}, nil
+	case VTearOff:
+		return proto.SC, core.Policy{Identifier: core.Versions{}, SCTearOff: true, UpgradeExemption: true}, nil
+	case VHistory:
+		return proto.SC, core.Policy{NewHistory: func() *core.InvalHistory { return core.NewInvalHistory(64, 2) }}, nil
+	case VNaive:
+		return proto.SC, core.Policy{
+			Identifier:       core.Versions{},
+			NewMechanism:     func() core.Mechanism { return core.NaiveFlush{} },
+			UpgradeExemption: true,
+		}, nil
+	case MIG:
+		return proto.SC, core.Policy{Migratory: true}, nil
+	case MIGV:
+		return proto.SC, core.Policy{Migratory: true, Identifier: core.Versions{}, UpgradeExemption: true}, nil
+	default:
+		return 0, core.Policy{}, fmt.Errorf("dsisim: unknown protocol %q", p)
+	}
+}
+
+// Scale selects workload input sizes.
+type Scale = workload.Scale
+
+// Workload scales.
+const (
+	// ScalePaper is the evaluation size (scaled from the paper's inputs).
+	ScalePaper = workload.ScalePaper
+	// ScaleTest is a small size for fast tests.
+	ScaleTest = workload.ScaleTest
+)
+
+// Config describes one simulation.
+type Config struct {
+	// Workload names a built-in workload (see Workloads). Leave empty when
+	// calling RunProgram with a custom program.
+	Workload string
+	// Scale selects the workload input size (default ScalePaper).
+	Scale Scale
+	// Protocol is the paper-style label (default SC).
+	Protocol Protocol
+	// Processors defaults to the paper's 32.
+	Processors int
+	// CacheBytes defaults to 256 KiB; CacheAssoc to 4-way.
+	CacheBytes int
+	CacheAssoc int
+	// NetworkLatency defaults to the paper's 100 cycles.
+	NetworkLatency int64
+	// Seed perturbs processor-private randomness (default fixed).
+	Seed uint64
+	// MaxSteps bounds simulation length (watchdog); 0 means default.
+	MaxSteps uint64
+}
+
+// Result is the outcome of one simulation run.
+type Result = machine.Result
+
+// Program is a custom workload; see the Proc API in internal/cpu for the
+// kernel-side operations (Read, Write, WriteWord, Swap, Compute, Lock,
+// Unlock, Barrier, Assert).
+type Program = machine.Program
+
+// Proc is the kernel-side processor handle passed to Program.Kernel.
+type Proc = cpu.Proc
+
+// Machine re-exports the assembled-machine handle (passed to
+// Program.Setup, where workloads allocate simulated memory via Layout).
+type Machine = machine.Machine
+
+// Breakdown re-exports the execution-time breakdown.
+type Breakdown = stats.Breakdown
+
+// Addr is a simulated byte address.
+type Addr = mem.Addr
+
+// Region is an allocated range of the simulated address space.
+type Region = mem.Region
+
+// Layout is the machine's address-space allocator, available to custom
+// programs in Setup via Machine.Layout.
+type Layout = mem.Layout
+
+// Workloads lists the built-in workload names.
+func Workloads() []string { return workload.Names() }
+
+// PaperWorkloads lists the five Table 1 applications.
+func PaperWorkloads() []string { return workload.PaperNames() }
+
+func (c Config) machineConfig() (machine.Config, error) {
+	p := c.Protocol
+	if p == "" {
+		p = SC
+	}
+	cons, pol, err := policyFor(p)
+	if err != nil {
+		return machine.Config{}, err
+	}
+	return machine.Config{
+		Processors:     c.Processors,
+		CacheBytes:     c.CacheBytes,
+		CacheAssoc:     c.CacheAssoc,
+		NetworkLatency: event.Time(c.NetworkLatency),
+		Consistency:    cons,
+		Policy:         pol,
+		Seed:           c.Seed,
+		MaxSteps:       c.MaxSteps,
+	}, nil
+}
+
+// Run simulates the named built-in workload under cfg.
+func Run(cfg Config) (Result, error) {
+	if cfg.Workload == "" {
+		return Result{}, fmt.Errorf("dsisim: Config.Workload is empty (use RunProgram for custom programs)")
+	}
+	prog, err := workload.New(cfg.Workload, cfg.Scale)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunProgram(cfg, prog)
+}
+
+// RunProgram simulates a custom program under cfg. Programs and the
+// machines that run them are single-use.
+func RunProgram(cfg Config, prog Program) (Result, error) {
+	mc, err := cfg.machineConfig()
+	if err != nil {
+		return Result{}, err
+	}
+	res := machine.New(mc).Run(prog)
+	if res.Failed() {
+		return res, fmt.Errorf("dsisim: run of %q failed: %s", prog.Name(), res.Errors[0])
+	}
+	return res, nil
+}
+
+// BlockSize is the simulated cache block size in bytes.
+const BlockSize = mem.BlockSize

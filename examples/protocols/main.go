@@ -1,0 +1,45 @@
+// Protocol comparison: run one workload under every protocol configuration
+// the paper evaluates and print the Figure 3-style normalized times next
+// to message counts — a one-workload slice of the full reproduction.
+//
+//	go run ./examples/protocols [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dsisim"
+)
+
+func main() {
+	workload := "sparse" // the paper's best case for DSI
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+
+	var base dsisim.Result
+	fmt.Printf("%s on 16 processors (test scale), 100-cycle network\n\n", workload)
+	fmt.Printf("%-8s %12s %10s %10s %8s\n", "protocol", "cycles", "norm", "messages", "inval")
+	for i, p := range dsisim.Protocols() {
+		res, err := dsisim.Run(dsisim.Config{
+			Workload:   workload,
+			Protocol:   p,
+			Processors: 16,
+			Scale:      dsisim.ScaleTest,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = res
+		}
+		fmt.Printf("%-8s %12d %10.2f %10d %8d\n",
+			p, res.ExecTime,
+			float64(res.ExecTime)/float64(base.ExecTime),
+			res.Messages.Total(), res.Messages.Invalidation())
+	}
+	fmt.Println("\nSC=sequential consistency, W=weak consistency, S/V=DSI by states/versions,")
+	fmt.Println("*-FIFO=64-entry FIFO self-invalidation, W+DSI*=weak consistency with tear-off blocks")
+}

@@ -1,0 +1,3 @@
+module dsisim
+
+go 1.22

@@ -1,0 +1,98 @@
+// Package check implements the coherence audit run over a quiesced machine:
+// with no transactions or messages in flight, every directory entry must
+// agree with the caches (single writer, tracked sharer sets exact, shared
+// copies equal to home memory). Tear-off copies are intentionally untracked
+// and may be stale, but must never be writable.
+package check
+
+import (
+	"fmt"
+
+	"dsisim/internal/cache"
+	"dsisim/internal/directory"
+	"dsisim/internal/mem"
+	"dsisim/internal/proto"
+)
+
+// Audit verifies the machine-wide invariants over a quiesced system and
+// returns every violation found.
+func Audit(ccs []*proto.CacheCtrl, dcs []*proto.DirCtrl, inFlight int) []error {
+	var errs []error
+	if inFlight != 0 {
+		errs = append(errs, fmt.Errorf("audit of non-quiesced system: %d messages in flight", inFlight))
+		return errs
+	}
+	for n, cc := range ccs {
+		if o := cc.Outstanding(); o != 0 {
+			errs = append(errs, fmt.Errorf("node %d: %d outstanding misses/entries", n, o))
+		}
+	}
+	for _, dc := range dcs {
+		if b := dc.BusyBlocks(); b != 0 {
+			errs = append(errs, fmt.Errorf("home %d: %d busy blocks", dc.Dir().Node(), b))
+		}
+		dc.Dir().ForEach(func(b mem.Addr, e *directory.Entry) {
+			if err := auditEntry(ccs, dc, b, e); err != nil {
+				errs = append(errs, fmt.Errorf("block %#x (home %d): %w", uint64(b), dc.Dir().Node(), err))
+			}
+		})
+	}
+	return errs
+}
+
+func auditEntry(ccs []*proto.CacheCtrl, dc *proto.DirCtrl, b mem.Addr, e *directory.Entry) error {
+	var exclusives, tracked, tearoffs directory.NodeSet
+	for n, cc := range ccs {
+		f, ok := cc.Cache().Peek(b)
+		if !ok {
+			continue
+		}
+		if f.State == cache.Exclusive {
+			exclusives = exclusives.Add(n)
+		}
+		if f.TearOff {
+			tearoffs = tearoffs.Add(n)
+			if f.State == cache.Exclusive {
+				return fmt.Errorf("node %d holds a writable tear-off copy", n)
+			}
+		} else {
+			tracked = tracked.Add(n)
+		}
+	}
+	if exclusives.Count() > 1 {
+		return fmt.Errorf("multiple writers: %v", exclusives)
+	}
+	switch {
+	case e.State == directory.Exclusive:
+		if !exclusives.Only(e.Owner) {
+			return fmt.Errorf("directory says owner %d, caches say %v", e.Owner, exclusives)
+		}
+		if tracked != exclusives {
+			return fmt.Errorf("tracked copies %v beyond owner %d", tracked, e.Owner)
+		}
+	case e.State.IsShared():
+		if !exclusives.Empty() {
+			return fmt.Errorf("state %v but writable copy at %v", e.State, exclusives)
+		}
+		if tracked != e.Sharers {
+			return fmt.Errorf("directory sharers %v, tracked copies %v", e.Sharers, tracked)
+		}
+		want := dc.Memory().Read(b)
+		var err error
+		e.Sharers.ForEach(func(n int) {
+			if f, ok := ccs[n].Cache().Peek(b); ok && f.Data != want && err == nil {
+				err = fmt.Errorf("node %d shared copy %v differs from memory %v", n, f.Data, want)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	case e.State.IsIdle():
+		if !tracked.Empty() {
+			return fmt.Errorf("state %v but tracked copies at %v", e.State, tracked)
+		}
+	default:
+		return fmt.Errorf("unknown directory state %v", e.State)
+	}
+	return nil
+}

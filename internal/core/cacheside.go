@@ -1,0 +1,100 @@
+package core
+
+import (
+	"dsisim/internal/cache"
+	"dsisim/internal/mem"
+)
+
+// This file implements the cache-controller-side identification scheme the
+// paper sketches in §3.1: "a cache controller can identify blocks for
+// self-invalidation by maintaining information for recently invalidated
+// blocks (e.g., the number of times a block is invalidated)". It needs no
+// directory support at all — the cache marks its own fills, and the
+// existing self-invalidation notifications keep the directory consistent.
+
+// InvalHistory is a small direct-mapped table of recently invalidated
+// blocks with a saturating per-block invalidation counter. When a block
+// whose count has reached the threshold is re-fetched, the cache marks the
+// new copy for self-invalidation locally.
+type InvalHistory struct {
+	// Entries is the table size (power of two). The paper's analogy is a
+	// victim-cache-sized structure; 64 is the default.
+	Entries int
+	// Threshold is how many observed invalidations qualify a block
+	// (default 2: one invalidation may be incidental, two are a pattern).
+	Threshold uint8
+
+	tags   []mem.Addr
+	counts []uint8
+
+	// Marked counts fills marked by the history table.
+	Marked int64
+}
+
+// NewInvalHistory builds a table with n entries and the given threshold.
+func NewInvalHistory(n int, threshold uint8) *InvalHistory {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("core: InvalHistory entries must be a positive power of two")
+	}
+	if threshold == 0 {
+		panic("core: InvalHistory threshold must be positive")
+	}
+	return &InvalHistory{
+		Entries:   n,
+		Threshold: threshold,
+		tags:      make([]mem.Addr, n),
+		counts:    make([]uint8, n),
+	}
+}
+
+func (h *InvalHistory) slot(b mem.Addr) int {
+	return int(mem.BlockIndex(b)) & (h.Entries - 1)
+}
+
+// OnInvalidate records an explicit invalidation of block b (the conflict
+// signal the predictor learns from). Direct-mapped: a conflicting block
+// steals the entry and restarts its count.
+func (h *InvalHistory) OnInvalidate(b mem.Addr) {
+	b = mem.BlockOf(b)
+	i := h.slot(b)
+	if h.tags[i] != b {
+		h.tags[i] = b
+		h.counts[i] = 1
+		return
+	}
+	if h.counts[i] < 0xff {
+		h.counts[i]++
+	}
+}
+
+// ShouldMark reports whether a fill of block b should be marked for
+// self-invalidation based on its invalidation history.
+func (h *InvalHistory) ShouldMark(b mem.Addr) bool {
+	b = mem.BlockOf(b)
+	i := h.slot(b)
+	return h.tags[i] == b && h.counts[i] >= h.Threshold
+}
+
+// Count returns the current counter for b (for tests).
+func (h *InvalHistory) Count(b mem.Addr) uint8 {
+	b = mem.BlockOf(b)
+	i := h.slot(b)
+	if h.tags[i] != b {
+		return 0
+	}
+	return h.counts[i]
+}
+
+// MarkLocal applies the history decision to a freshly installed frame,
+// wiring it into the cache's marked list so the configured mechanism will
+// self-invalidate it. Returns whether the frame was marked.
+func (h *InvalHistory) MarkLocal(c *cache.Cache, b mem.Addr) bool {
+	if !h.ShouldMark(b) {
+		return false
+	}
+	if c.Mark(b) {
+		h.Marked++
+		return true
+	}
+	return false
+}

@@ -1,0 +1,460 @@
+// Package core implements the paper's contribution: the dynamic
+// self-invalidation (DSI) policies. It is deliberately separated from the
+// protocol machinery (internal/proto) and the hardware structures
+// (internal/cache, internal/directory) so the policies read like §4 of the
+// paper:
+//
+//   - Identifier: how the directory decides which blocks to hand out marked
+//     for self-invalidation — the additional-states scheme or the 4-bit
+//     version-number scheme.
+//   - Mechanism: how the cache controller performs the self-invalidation —
+//     a finite FIFO buffer, or a flush of all marked blocks at each
+//     synchronization operation.
+//   - Policy: the assembled configuration, including tear-off blocks and
+//     the two special cases of §4.1 (no self-invalidation of blocks homed
+//     at the requester; no marking of sequentially-consistent upgrades with
+//     no other sharers).
+package core
+
+import (
+	"dsisim/internal/cache"
+	"dsisim/internal/directory"
+	"dsisim/internal/mem"
+)
+
+// Request carries the facts an Identifier may consult when the directory
+// services a miss.
+type Request struct {
+	Node int // requesting node
+	Home int // home node of the block
+
+	// Version echo from the cache (version-number scheme): the version the
+	// requester last observed for this block, if its tag memory still held
+	// one.
+	Ver    uint8
+	HasVer bool
+
+	// For write requests: whether the requester already held a shared copy
+	// (an upgrade), and whether any other node also holds one.
+	WasSharer    bool
+	OtherSharers bool
+}
+
+// Identifier is a directory-side block identification scheme. Read and
+// Write are called while the directory services a request, before the new
+// state is installed; they both decide whether to mark the response and
+// update any predictor state they maintain (version numbers, read
+// counters).
+//
+// SetShared and SetIdle install the post-transaction state: the
+// additional-states scheme needs to choose among Shared/Shared_SI and the
+// four idle flavors, while the version scheme and the base protocol use
+// only the three base states.
+type Identifier interface {
+	Name() string
+	// Read decides whether a shared grant is marked for self-invalidation.
+	Read(e *directory.Entry, r Request) bool
+	// Write decides whether an exclusive grant is marked. The special cases
+	// of Policy are applied by the caller, not here.
+	Write(e *directory.Entry, r Request) bool
+	// GrantVersion returns the version number to deliver with the response
+	// (after any bookkeeping done by Read/Write).
+	GrantVersion(e *directory.Entry) (uint8, bool)
+	// SetShared installs the shared state after a read grant; si is the
+	// decision Read returned (after special cases).
+	SetShared(e *directory.Entry, si bool)
+	// SetIdle installs an idle state, with the cause and the state the
+	// block was in when the last copy disappeared.
+	SetIdle(e *directory.Entry, cause IdleCause, prev directory.State, wasSI bool)
+}
+
+// IdleCause says why a block's last outstanding copy disappeared.
+type IdleCause int
+
+const (
+	// CauseReplace: the last copy was displaced by a cache fill.
+	CauseReplace IdleCause = iota
+	// CauseSelfInv: the last copy was self-invalidated.
+	CauseSelfInv
+)
+
+// ---------------------------------------------------------------------------
+// Base protocol: never self-invalidate.
+
+// Never is the identification scheme of the base protocol: nothing is ever
+// marked. It is also the correct Identifier for "DSI off".
+type Never struct{}
+
+// Name implements Identifier.
+func (Never) Name() string { return "base" }
+
+// Read implements Identifier.
+func (Never) Read(*directory.Entry, Request) bool { return false }
+
+// Write implements Identifier.
+func (Never) Write(*directory.Entry, Request) bool { return false }
+
+// GrantVersion implements Identifier.
+func (Never) GrantVersion(*directory.Entry) (uint8, bool) { return 0, false }
+
+// SetShared implements Identifier.
+func (Never) SetShared(e *directory.Entry, _ bool) { e.State = directory.Shared }
+
+// SetIdle implements Identifier.
+func (Never) SetIdle(e *directory.Entry, _ IdleCause, _ directory.State, _ bool) {
+	e.State = directory.Idle
+}
+
+// ---------------------------------------------------------------------------
+// Additional-states scheme (§4.1, "Additional States").
+
+// States implements identification with four additional directory states.
+// Every processor gets the same decision for a given directory state.
+type States struct{}
+
+// Name implements Identifier.
+func (States) Name() string { return "states" }
+
+// Read implements Identifier: read requests obtain a self-invalidate block
+// if the current state is Exclusive, Idle_X, Shared_SI or Idle_SI.
+func (States) Read(e *directory.Entry, _ Request) bool {
+	switch e.State {
+	case directory.Exclusive, directory.IdleX, directory.SharedSI, directory.IdleSI:
+		return true
+	}
+	return false
+}
+
+// Write implements Identifier: write requests obtain a self-invalidate
+// block if the current state is Shared, Shared_SI, Exclusive, Idle_S,
+// Idle_SI, or Idle_X where a different processor had the block exclusive.
+func (States) Write(e *directory.Entry, r Request) bool {
+	switch e.State {
+	case directory.Shared, directory.SharedSI, directory.Exclusive,
+		directory.IdleS, directory.IdleSI:
+		return true
+	case directory.IdleX:
+		return e.LastOwner != r.Node
+	}
+	return false
+}
+
+// GrantVersion implements Identifier: the states scheme delivers no version.
+func (States) GrantVersion(*directory.Entry) (uint8, bool) { return 0, false }
+
+// SetShared implements Identifier: an SI read grant enters Shared_SI so all
+// subsequent readers are marked too; joining an existing Shared/Shared_SI
+// population keeps its flavor.
+func (States) SetShared(e *directory.Entry, si bool) {
+	switch {
+	case e.State == directory.SharedSI:
+		// stays Shared_SI
+	case e.State == directory.Shared:
+		// stays Shared
+	case si:
+		e.State = directory.SharedSI
+	default:
+		e.State = directory.Shared
+	}
+}
+
+// SetIdle implements Identifier: self-invalidation from Exclusive enters
+// Idle_X, from a shared state Idle_S; replacement of a marked block enters
+// Idle_SI; everything else is plain Idle.
+func (States) SetIdle(e *directory.Entry, cause IdleCause, prev directory.State, wasSI bool) {
+	switch {
+	case cause == CauseSelfInv && prev == directory.Exclusive:
+		e.State = directory.IdleX
+	case cause == CauseSelfInv:
+		e.State = directory.IdleS
+	case wasSI:
+		e.State = directory.IdleSI
+	default:
+		e.State = directory.Idle
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Version-number scheme (§4.1, "Version Numbers").
+
+// Versions implements identification with a 4-bit per-block version number
+// plus a 2-bit counter of shared grants for the current version. Each
+// processor decides independently, via the version it echoes with its miss.
+type Versions struct{}
+
+// Name implements Identifier.
+func (Versions) Name() string { return "versions" }
+
+// Read implements Identifier: the response is marked if the requester
+// echoed a version and it differs from the current one (the block was
+// modified since the requester last held it). It also shifts a one into the
+// shared-grant counter.
+func (Versions) Read(e *directory.Entry, r Request) bool {
+	si := r.HasVer && r.Ver != e.Ver
+	e.NoteSharedGrant()
+	return si
+}
+
+// Write implements Identifier: marked if the versions differ, or if the
+// current version has been read by at least two processors (which may
+// include the writer itself). Bumps the version, clearing the read counter.
+func (Versions) Write(e *directory.Entry, r Request) bool {
+	si := (r.HasVer && r.Ver != e.Ver) || e.ReadByTwo()
+	e.BumpVersion()
+	return si
+}
+
+// GrantVersion implements Identifier: responses carry the current (for
+// writes: freshly bumped) version for the cache's version memory.
+func (Versions) GrantVersion(e *directory.Entry) (uint8, bool) { return e.Ver, true }
+
+// SetShared implements Identifier: the version scheme uses base states only.
+func (Versions) SetShared(e *directory.Entry, _ bool) { e.State = directory.Shared }
+
+// SetIdle implements Identifier.
+func (Versions) SetIdle(e *directory.Entry, _ IdleCause, _ directory.State, _ bool) {
+	e.State = directory.Idle
+}
+
+// ---------------------------------------------------------------------------
+// Always: mark everything (ablation/stress policy, not from the paper).
+
+// Always marks every grant for self-invalidation. It is not a paper scheme;
+// it exists to bound the design space in ablation benchmarks and to stress
+// the self-invalidation machinery in tests.
+type Always struct{}
+
+// Name implements Identifier.
+func (Always) Name() string { return "always" }
+
+// Read implements Identifier.
+func (Always) Read(*directory.Entry, Request) bool { return true }
+
+// Write implements Identifier.
+func (Always) Write(*directory.Entry, Request) bool { return true }
+
+// GrantVersion implements Identifier.
+func (Always) GrantVersion(*directory.Entry) (uint8, bool) { return 0, false }
+
+// SetShared implements Identifier.
+func (Always) SetShared(e *directory.Entry, _ bool) { e.State = directory.Shared }
+
+// SetIdle implements Identifier.
+func (Always) SetIdle(e *directory.Entry, _ IdleCause, _ directory.State, _ bool) {
+	e.State = directory.Idle
+}
+
+// ---------------------------------------------------------------------------
+// Self-invalidation mechanisms (§4.2).
+
+// Mechanism is a cache-side self-invalidation scheme. OnInstall is called
+// when a marked block arrives; it may return blocks that must be
+// self-invalidated immediately (the FIFO displacing old entries). OnSync is
+// called at each synchronization operation and returns the blocks
+// self-invalidated there, in the order the hardware would process them.
+// ScanLatency is the cycles the hardware needs to find the marked blocks at
+// a sync point, beyond the per-block message injections: zero for the
+// linked-list and flash-clear circuits of §4.2, proportional to the number
+// of cache frames for the naive sequential scan.
+type Mechanism interface {
+	Name() string
+	OnInstall(c *cache.Cache, block mem.Addr) []cache.Evicted
+	OnSync(c *cache.Cache) []cache.Evicted
+	ScanLatency(c *cache.Cache, flushed int) int64
+}
+
+// SyncFlush performs self-invalidation by walking the hardware linked list
+// of marked frames at every synchronization operation. It uses the full
+// capacity of the cache (no auxiliary buffer), and the list walk processes
+// only blocks that actually need self-invalidation, so its latency hides
+// entirely behind the notification injections.
+type SyncFlush struct{}
+
+// Name implements Mechanism.
+func (SyncFlush) Name() string { return "sync-flush" }
+
+// OnInstall implements Mechanism: nothing happens until a sync point.
+func (SyncFlush) OnInstall(*cache.Cache, mem.Addr) []cache.Evicted { return nil }
+
+// OnSync implements Mechanism.
+func (SyncFlush) OnSync(c *cache.Cache) []cache.Evicted { return c.MarkedFlush() }
+
+// ScanLatency implements Mechanism: the linked list finds marked frames in
+// constant time per frame, overlapped with message injection.
+func (SyncFlush) ScanLatency(*cache.Cache, int) int64 { return 0 }
+
+// NaiveFlush is the §4.2 strawman: at each synchronization point the
+// controller sequentially examines every cache frame looking for set s
+// bits, so the latency is proportional to the number of frames even when
+// nothing needs self-invalidation. It exists to quantify what the paper's
+// flash-clear/linked-list circuits buy.
+type NaiveFlush struct{}
+
+// Name implements Mechanism.
+func (NaiveFlush) Name() string { return "naive-flush" }
+
+// OnInstall implements Mechanism.
+func (NaiveFlush) OnInstall(*cache.Cache, mem.Addr) []cache.Evicted { return nil }
+
+// OnSync implements Mechanism.
+func (NaiveFlush) OnSync(c *cache.Cache) []cache.Evicted { return c.MarkedFlush() }
+
+// ScanLatency implements Mechanism: one cycle per cache frame.
+func (NaiveFlush) ScanLatency(c *cache.Cache, _ int) int64 {
+	geo := c.Config()
+	return int64(geo.Sets() * geo.Assoc)
+}
+
+// FIFO performs self-invalidation with a finite first-in-first-out buffer
+// of marked block identities (the paper evaluates 64 entries). A block is
+// self-invalidated when its entry is displaced from the buffer; the buffer
+// is also flushed at synchronization operations.
+type FIFO struct {
+	Capacity int
+	queue    []mem.Addr
+	// Displacements counts early self-invalidations forced by finite
+	// capacity — the effect Figure 5 attributes sparse's slowdown to.
+	Displacements int64
+}
+
+// NewFIFO returns a FIFO mechanism with the given capacity.
+func NewFIFO(capacity int) *FIFO {
+	if capacity <= 0 {
+		panic("core: FIFO capacity must be positive")
+	}
+	return &FIFO{Capacity: capacity}
+}
+
+// Name implements Mechanism.
+func (f *FIFO) Name() string { return "fifo" }
+
+// Len returns the current buffer occupancy.
+func (f *FIFO) Len() int { return len(f.queue) }
+
+// OnInstall implements Mechanism: enqueue the block, displacing (and
+// self-invalidating) the oldest entry if the buffer is full.
+func (f *FIFO) OnInstall(c *cache.Cache, block mem.Addr) []cache.Evicted {
+	var out []cache.Evicted
+	f.queue = append(f.queue, mem.BlockOf(block))
+	for len(f.queue) > f.Capacity {
+		victim := f.queue[0]
+		f.queue = f.queue[1:]
+		if ev, ok := c.SelfInvalidate(victim); ok {
+			f.Displacements++
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// OnSync implements Mechanism: flush the whole buffer.
+func (f *FIFO) OnSync(c *cache.Cache) []cache.Evicted {
+	var out []cache.Evicted
+	for _, a := range f.queue {
+		if ev, ok := c.SelfInvalidate(a); ok {
+			out = append(out, ev)
+		}
+	}
+	f.queue = f.queue[:0]
+	// Defensively drain the cache's marked list as well: a marked frame can
+	// only be missing from the queue if a caller skipped OnInstall, and a
+	// silent invalidation would leave the directory with phantom copies —
+	// notify for those too.
+	out = append(out, c.MarkedFlush()...)
+	return out
+}
+
+// ScanLatency implements Mechanism: the FIFO knows exactly which blocks to
+// process; no scan needed.
+func (f *FIFO) ScanLatency(*cache.Cache, int) int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Policy: the assembled DSI configuration.
+
+// Policy configures DSI for one simulation. The zero value (nil Identifier)
+// means DSI is disabled. Mechanisms are per-node state (the FIFO has a
+// queue), so Policy carries a constructor.
+type Policy struct {
+	// Identifier chooses the directory-side scheme; nil disables DSI.
+	Identifier Identifier
+	// NewMechanism builds the per-node cache-side mechanism; nil with a
+	// non-nil Identifier defaults to SyncFlush.
+	NewMechanism func() Mechanism
+	// TearOff grants untracked shared copies for marked blocks (only sound
+	// under weak consistency, where all tear-off copies die at sync points).
+	TearOff bool
+	// SCTearOff grants tear-off copies under sequential consistency with
+	// Scheurich's restriction (§3.3): each cache holds at most one tear-off
+	// block and invalidates it at its next cache miss (and, in this
+	// implementation, at synchronization points — required for correctness
+	// with the hardware barrier, and the natural analogue of the paper's
+	// periodic-invalidation forward-progress fix).
+	SCTearOff bool
+	// NewHistory, if set, adds cache-side identification (§3.1): each node
+	// gets an invalidation-history table that marks re-fetched blocks
+	// locally, with or without a directory-side Identifier.
+	NewHistory func() *InvalHistory
+	// Migratory enables the adaptive migratory-sharing optimization the
+	// paper cites as complementary related work (Cox & Fowler / Stenström
+	// et al., ISCA 1993): the directory detects blocks that migrate
+	// write-to-write between processors and answers *read* requests for
+	// them with an exclusive grant, saving the later upgrade. Composes
+	// with DSI.
+	Migratory bool
+	// UpgradeExemption applies the paper's sequential-consistency special
+	// case: an exclusive grant to a requester that already held a shared
+	// copy, with no other outstanding copies, is never marked.
+	UpgradeExemption bool
+}
+
+// Enabled reports whether the policy performs any self-invalidation.
+func (p Policy) Enabled() bool { return p.Identifier != nil }
+
+// ID returns the active identifier, substituting Never when disabled.
+func (p Policy) ID() Identifier {
+	if p.Identifier == nil {
+		return Never{}
+	}
+	return p.Identifier
+}
+
+// Mechanism instantiates the per-node mechanism.
+func (p Policy) Mechanism() Mechanism {
+	if !p.Enabled() {
+		return SyncFlush{} // harmless: nothing is ever marked
+	}
+	if p.NewMechanism == nil {
+		return SyncFlush{}
+	}
+	return p.NewMechanism()
+}
+
+// MarkRead applies the read-side decision with the home-node special case.
+// The identifier's bookkeeping (the shared-grant counter) still runs for
+// home-node reads; only the marking is suppressed.
+func (p Policy) MarkRead(e *directory.Entry, r Request) bool {
+	if !p.Enabled() {
+		return false
+	}
+	si := p.ID().Read(e, r)
+	if r.Node == r.Home {
+		return false
+	}
+	return si
+}
+
+// MarkWrite applies the write-side decision with both special cases.
+func (p Policy) MarkWrite(e *directory.Entry, r Request) bool {
+	if !p.Enabled() {
+		// Keep version bookkeeping out of the disabled path entirely.
+		return false
+	}
+	si := p.ID().Write(e, r)
+	if r.Node == r.Home {
+		return false
+	}
+	if p.UpgradeExemption && r.WasSharer && !r.OtherSharers {
+		return false
+	}
+	return si
+}

@@ -1,0 +1,463 @@
+// Package cpu models the processors: a simple in-order core that issues
+// loads, stores, swaps, compute delays, and synchronization operations
+// against its node's cache controller, stalling according to the memory
+// consistency model, and attributing every stalled cycle to the categories
+// of the paper's Figure 3.
+//
+// Workload kernels are ordinary Go functions run on one goroutine per
+// simulated processor. A kernel blocks inside each Proc method while the
+// simulator advances; the handshake is fully serialized through the event
+// queue, so simulations are deterministic as long as kernels do not mutate
+// Go state shared between processors (read-only shared setup is fine).
+package cpu
+
+import (
+	"fmt"
+
+	"dsisim/internal/event"
+	"dsisim/internal/mem"
+	"dsisim/internal/proto"
+	"dsisim/internal/rng"
+	"dsisim/internal/stats"
+)
+
+// Kernel is the per-processor body of a workload.
+type Kernel func(p *Proc)
+
+// opKind enumerates kernel→driver requests.
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opSwap
+	opCompute
+	opBarrier
+	opUnlock
+	opFlush
+	opHalt
+)
+
+type request struct {
+	kind   opKind
+	addr   mem.Addr
+	word   uint64
+	cycles int64
+	sync   bool // charge stall time to the synchronization category
+	// noFlush suppresses the self-invalidation flush after a swap: failed
+	// spin-lock attempts are not treated as completed synchronization
+	// points (the flush runs once, after the successful acquire).
+	noFlush bool
+}
+
+// Value is what a kernel observes from a load or swap: the block's
+// coherence token plus the data word at the accessed address.
+type Value struct {
+	Writer int
+	Seq    uint64
+	Word   uint64
+}
+
+type response struct {
+	value Value
+	old   uint64
+}
+
+// Proc is one simulated processor. Kernel-side methods (Read, Write, …)
+// must only be called from the kernel goroutine; everything else belongs to
+// the driver.
+type Proc struct {
+	id int
+	n  int
+
+	q       *event.Queue
+	cc      *proto.CacheCtrl
+	barrier *Barrier
+	brk     *stats.Breakdown
+	rnd     *rng.RNG
+
+	req  chan request
+	res  chan response
+	seq  uint64 // store sequence for value tokens
+	done bool
+	halt event.Time
+	err  error
+
+	// SpinBackoffMax bounds the exponential backoff between lock retries.
+	SpinBackoffMax int64
+
+	// OnOp, if set, observes every operation the kernel issues, in program
+	// order, before it executes. Used by the trace tooling.
+	OnOp func(TraceOp)
+}
+
+// TraceOp is one kernel-issued operation as seen by a tracer.
+type TraceOp struct {
+	Kind   string // read write swap compute barrier unlock flush halt
+	Addr   mem.Addr
+	Word   uint64
+	Cycles int64
+	Sync   bool
+}
+
+var opNames = map[opKind]string{
+	opRead: "read", opWrite: "write", opSwap: "swap", opCompute: "compute",
+	opBarrier: "barrier", opUnlock: "unlock", opFlush: "flush", opHalt: "halt",
+}
+
+// New builds a processor. Start must be called to launch its kernel.
+func New(id, n int, q *event.Queue, cc *proto.CacheCtrl, barrier *Barrier, brk *stats.Breakdown, seed uint64) *Proc {
+	return &Proc{
+		id: id, n: n, q: q, cc: cc, barrier: barrier, brk: brk,
+		rnd:            rng.New(seed ^ uint64(id)*0x9e3779b97f4a7c15),
+		req:            make(chan request),
+		res:            make(chan response),
+		SpinBackoffMax: 256,
+	}
+}
+
+// ID returns the processor number.
+func (p *Proc) ID() int { return p.id }
+
+// N returns the machine's processor count.
+func (p *Proc) N() int { return p.n }
+
+// RNG returns the processor's private deterministic generator.
+func (p *Proc) RNG() *rng.RNG { return p.rnd }
+
+// Done reports whether the kernel has halted.
+func (p *Proc) Done() bool { return p.done }
+
+// HaltTime returns the simulated time the kernel halted.
+func (p *Proc) HaltTime() event.Time { return p.halt }
+
+// Err returns the kernel's panic error, if any.
+func (p *Proc) Err() error { return p.err }
+
+// Breakdown returns the processor's cycle attribution.
+func (p *Proc) Breakdown() *stats.Breakdown { return p.brk }
+
+// --- kernel-side API ---------------------------------------------------------
+
+func (p *Proc) rpc(r request) response {
+	p.req <- r
+	return <-p.res
+}
+
+// Read performs a load and returns the accessed word with its block's
+// coherence token.
+func (p *Proc) Read(a mem.Addr) Value {
+	return p.rpc(request{kind: opRead, addr: a}).value
+}
+
+// Write performs a store of a fresh value token (Word = 0).
+func (p *Proc) Write(a mem.Addr) {
+	p.rpc(request{kind: opWrite, addr: a})
+}
+
+// WriteWord stores a fresh token carrying the given word (for flags).
+func (p *Proc) WriteWord(a mem.Addr, w uint64) {
+	p.rpc(request{kind: opWrite, addr: a, word: w})
+}
+
+// Swap atomically exchanges the block's word, returning the old word. It is
+// a synchronization access: the write buffer drains first and marked blocks
+// self-invalidate after.
+func (p *Proc) Swap(a mem.Addr, w uint64) uint64 {
+	return p.rpc(request{kind: opSwap, addr: a, word: w, sync: true}).old
+}
+
+// Compute advances the processor by the given number of cycles.
+func (p *Proc) Compute(cycles int64) {
+	if cycles < 0 {
+		panic("cpu: negative compute")
+	}
+	if cycles == 0 {
+		return
+	}
+	p.rpc(request{kind: opCompute, cycles: cycles})
+}
+
+// ComputeInstr charges instruction-count work at the 3-issue rate of the
+// paper's SuperSPARC model.
+func (p *Proc) ComputeInstr(instructions int64) {
+	p.Compute((instructions + 2) / 3)
+}
+
+// ReadSync is Read with the stall charged to synchronization (spin loops).
+func (p *Proc) ReadSync(a mem.Addr) Value {
+	return p.rpc(request{kind: opRead, addr: a, sync: true}).value
+}
+
+// Lock acquires a spin lock with test&set plus exponential backoff. The
+// acquire loop spins on the swap itself — not on a plain test read —
+// because every swap is a synchronization access that self-invalidates
+// marked blocks: a plain-read spin on a stale tear-off copy of the lock
+// word would never observe the release (the forward-progress hazard §3.3
+// of the paper describes).
+func (p *Proc) Lock(a mem.Addr) {
+	backoff := int64(8)
+	for {
+		if p.rpc(request{kind: opSwap, addr: a, word: 1, sync: true, noFlush: true}).old == 0 {
+			p.rpc(request{kind: opFlush})
+			return
+		}
+		p.rpc(request{kind: opCompute, cycles: backoff, sync: true})
+		if backoff < p.SpinBackoffMax {
+			backoff *= 2
+		}
+	}
+}
+
+// Unlock releases a lock. It is a synchronization access (the write buffer
+// drains before the releasing store and marked blocks self-invalidate), so
+// weak ordering holds for data protected by the lock.
+func (p *Proc) Unlock(a mem.Addr) {
+	p.rpc(request{kind: opUnlock, addr: a})
+}
+
+// Barrier joins the machine-wide hardware barrier.
+func (p *Proc) Barrier() {
+	p.rpc(request{kind: opBarrier})
+}
+
+// Assert aborts the kernel with a diagnostic if cond is false; the failure
+// surfaces as a run error. Use it for workload-level data-flow checks.
+func (p *Proc) Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf("proc %d assertion failed: %s", p.id, fmt.Sprintf(format, args...)))
+	}
+}
+
+// --- driver side -------------------------------------------------------------
+
+// Start launches the kernel goroutine and schedules the processor's first
+// step at the current simulation time.
+func (p *Proc) Start(k Kernel) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				p.err = fmt.Errorf("%v", r)
+			}
+			p.req <- request{kind: opHalt}
+		}()
+		k(p)
+	}()
+	p.q.After(0, p.step)
+}
+
+// step retrieves the kernel's next operation and executes it. The channel
+// receive blocks the simulation until the kernel (which runs concurrently)
+// reaches its next operation; because each kernel only synchronizes with
+// its own driver, execution remains deterministic.
+func (p *Proc) step() {
+	r := <-p.req
+	if p.OnOp != nil {
+		p.OnOp(TraceOp{Kind: opNames[r.kind], Addr: r.addr, Word: r.word, Cycles: r.cycles, Sync: r.sync})
+	}
+	switch r.kind {
+	case opHalt:
+		p.done = true
+		p.halt = p.q.Now()
+	case opCompute:
+		cat := stats.Compute
+		if r.sync {
+			cat = stats.Sync
+		}
+		p.brk.Add(cat, r.cycles)
+		p.q.After(event.Time(r.cycles), func() {
+			p.res <- response{}
+			p.step()
+		})
+	case opRead:
+		p.doRead(r)
+	case opWrite:
+		p.doWrite(r)
+	case opSwap:
+		p.doSwap(r)
+	case opUnlock:
+		p.doUnlock(r)
+	case opFlush:
+		p.flushThen(func() { p.finish(response{}) })
+	case opBarrier:
+		p.doBarrier()
+	}
+}
+
+// finish charges one issue cycle, replies to the kernel, and continues.
+func (p *Proc) finish(resp response) {
+	p.brk.Add(stats.Compute, 1)
+	p.q.After(1, func() {
+		p.res <- resp
+		p.step()
+	})
+}
+
+func (p *Proc) chargeRead(start event.Time, res proto.Result, sync bool) {
+	stall := int64(res.Done - start)
+	switch {
+	case sync:
+		p.brk.Add(stats.Sync, stall)
+	case res.WBRead:
+		p.brk.Add(stats.ReadWB, stall)
+	default:
+		inv := int64(res.InvWait)
+		if inv > stall {
+			inv = stall
+		}
+		p.brk.Add(stats.ReadInval, inv)
+		p.brk.Add(stats.ReadOther, stall-inv)
+	}
+}
+
+func (p *Proc) doRead(r request) {
+	start := p.q.Now()
+	p.cc.Read(r.addr, func(res proto.Result) {
+		p.chargeRead(start, res, r.sync)
+		p.finish(response{value: loaded(res.Value, r.addr)})
+	})
+}
+
+// loaded projects block contents onto the kernel-visible Value.
+func loaded(v mem.Value, a mem.Addr) Value {
+	return Value{Writer: v.Writer, Seq: v.Seq, Word: v.WordAt(a)}
+}
+
+func (p *Proc) token(word uint64) proto.Store {
+	p.seq++
+	return proto.Store{Writer: p.id, Seq: p.seq, Word: word}
+}
+
+func (p *Proc) doWrite(r request) {
+	start := p.q.Now()
+	p.cc.Write(r.addr, p.token(r.word), func(res proto.Result) {
+		stall := int64(res.Done - start)
+		switch {
+		case r.sync:
+			p.brk.Add(stats.Sync, stall)
+		default:
+			full := int64(res.WBFullWait)
+			if full > stall {
+				full = stall
+			}
+			inv := int64(res.InvWait)
+			if inv > stall-full {
+				inv = stall - full
+			}
+			p.brk.Add(stats.WBFull, full)
+			p.brk.Add(stats.WriteInval, inv)
+			p.brk.Add(stats.WriteOther, stall-full-inv)
+		}
+		p.finish(response{})
+	})
+}
+
+// doSwap drains the write buffer, performs the swap, and self-invalidates
+// marked blocks — the full synchronization-access sequence.
+func (p *Proc) doSwap(r request) {
+	start := p.q.Now()
+	p.cc.DrainWB(func() {
+		drained := p.q.Now()
+		p.brk.Add(stats.SyncWB, int64(drained-start))
+		p.cc.Swap(r.addr, r.word, p.token(r.word), func(res proto.Result) {
+			if r.sync {
+				p.brk.Add(stats.Sync, int64(res.Done-drained))
+			} else {
+				inv := int64(res.InvWait)
+				stall := int64(res.Done - drained)
+				if inv > stall {
+					inv = stall
+				}
+				p.brk.Add(stats.WriteInval, inv)
+				p.brk.Add(stats.WriteOther, stall-inv)
+			}
+			done := func() { p.finish(response{old: res.OldWord, value: loaded(res.Value, r.addr)}) }
+			if r.noFlush {
+				done()
+			} else {
+				p.flushThen(done)
+			}
+		})
+	})
+}
+
+func (p *Proc) doUnlock(r request) {
+	start := p.q.Now()
+	p.cc.DrainWB(func() {
+		drained := p.q.Now()
+		p.brk.Add(stats.SyncWB, int64(drained-start))
+		p.cc.Write(r.addr, p.token(0), func(res proto.Result) {
+			p.brk.Add(stats.Sync, int64(res.Done-drained))
+			p.flushThen(func() { p.finish(response{}) })
+		})
+	})
+}
+
+func (p *Proc) doBarrier() {
+	start := p.q.Now()
+	p.cc.DrainWB(func() {
+		drained := p.q.Now()
+		p.brk.Add(stats.SyncWB, int64(drained-start))
+		p.flushThen(func() {
+			arrived := p.q.Now()
+			p.barrier.Arrive(func() {
+				p.brk.Add(stats.Sync, int64(p.q.Now()-arrived))
+				p.finish(response{})
+			})
+		})
+	})
+}
+
+// flushThen runs the DSI self-invalidation flush and charges its latency.
+func (p *Proc) flushThen(cont func()) {
+	start := p.q.Now()
+	p.cc.SyncFlush(func(res proto.Result) {
+		p.brk.Add(stats.DSIStall, int64(res.Done-start))
+		cont()
+	})
+}
+
+// --- hardware barrier ---------------------------------------------------------
+
+// Barrier is the machine-wide hardware barrier: all processors are released
+// a fixed latency after the last arrival (100 cycles in the paper).
+type Barrier struct {
+	q       *event.Queue
+	n       int
+	latency event.Time
+	waiting []func()
+	// Episodes counts completed barrier episodes.
+	Episodes int64
+	// OnRelease, if set, runs at each release time with the episode number
+	// (1-based). The machine uses it to end workload warm-up: statistics
+	// are snapshotted when the declared number of initialization barriers
+	// has completed.
+	OnRelease func(episode int64)
+}
+
+// NewBarrier builds a barrier for n processors.
+func NewBarrier(q *event.Queue, n int, latency event.Time) *Barrier {
+	return &Barrier{q: q, n: n, latency: latency}
+}
+
+// Arrive registers a processor; cont runs at release time.
+func (b *Barrier) Arrive(cont func()) {
+	b.waiting = append(b.waiting, cont)
+	if len(b.waiting) < b.n {
+		return
+	}
+	ws := b.waiting
+	b.waiting = nil
+	b.Episodes++
+	ep := b.Episodes
+	release := b.q.Now() + b.latency
+	if hook := b.OnRelease; hook != nil {
+		b.q.At(release, func() { hook(ep) })
+	}
+	for _, w := range ws {
+		b.q.At(release, w)
+	}
+}
+
+// Waiting returns how many processors are currently parked at the barrier.
+func (b *Barrier) Waiting() int { return len(b.waiting) }

@@ -1,0 +1,151 @@
+// Package event provides the deterministic discrete-event kernel that drives
+// the simulator. Events are ordered by (time, insertion sequence), so two
+// runs that schedule the same events in the same order produce identical
+// executions regardless of map iteration order or goroutine scheduling.
+package event
+
+import "container/heap"
+
+// Time is a simulated clock value in processor cycles.
+type Time int64
+
+// Func is an event body. It runs exactly once, at the time it was scheduled
+// for, with the Queue's clock already advanced to that time.
+type Func func()
+
+type item struct {
+	at  Time
+	seq uint64
+	fn  Func
+}
+
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *itemHeap) Push(x any) { *h = append(*h, x.(item)) }
+
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Queue is a discrete-event scheduler. The zero value is ready to use with
+// the clock at time 0.
+type Queue struct {
+	now  Time
+	seq  uint64
+	heap itemHeap
+	ran  uint64
+}
+
+// Now returns the current simulated time.
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Executed returns the total number of events that have run.
+func (q *Queue) Executed() uint64 { return q.ran }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a protocol timing bug, not a recoverable condition.
+func (q *Queue) At(t Time, fn Func) {
+	if t < q.now {
+		panic("event: scheduled in the past")
+	}
+	q.seq++
+	heap.Push(&q.heap, item{at: t, seq: q.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (q *Queue) After(d Time, fn Func) {
+	if d < 0 {
+		panic("event: negative delay")
+	}
+	q.At(q.now+d, fn)
+}
+
+// Step runs the single earliest pending event, advancing the clock to its
+// time. It reports whether an event ran.
+func (q *Queue) Step() bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	it := heap.Pop(&q.heap).(item)
+	q.now = it.at
+	q.ran++
+	it.fn()
+	return true
+}
+
+// Run executes events until the queue drains, returning the final time.
+func (q *Queue) Run() Time {
+	for q.Step() {
+	}
+	return q.now
+}
+
+// RunUntil executes events with time ≤ limit. Events scheduled beyond the
+// limit remain queued. It reports whether the queue drained.
+func (q *Queue) RunUntil(limit Time) bool {
+	for len(q.heap) > 0 && q.heap[0].at <= limit {
+		q.Step()
+	}
+	return len(q.heap) == 0
+}
+
+// RunSteps executes at most n events; it reports how many ran. Useful as a
+// watchdog in tests that must terminate even if a protocol livelocks.
+func (q *Queue) RunSteps(n uint64) uint64 {
+	var i uint64
+	for ; i < n; i++ {
+		if !q.Step() {
+			break
+		}
+	}
+	return i
+}
+
+// Server models a resource that serves one item at a time (a cache
+// controller, a directory controller, a network interface). Admit returns
+// the interval during which the resource processes a request admitted now:
+// requests queue FIFO behind whatever the server is already committed to.
+type Server struct {
+	freeAt Time
+	busy   Time // total occupied cycles, for utilization stats
+}
+
+// Admit reserves the server for dur cycles starting no earlier than now,
+// returning the start and completion times of the reservation.
+func (s *Server) Admit(now Time, dur Time) (start, done Time) {
+	if dur < 0 {
+		panic("event: negative occupancy")
+	}
+	start = now
+	if s.freeAt > start {
+		start = s.freeAt
+	}
+	done = start + dur
+	s.freeAt = done
+	s.busy += dur
+	return start, done
+}
+
+// FreeAt returns the earliest time a new admission could start service.
+func (s *Server) FreeAt() Time { return s.freeAt }
+
+// Busy returns the cumulative cycles the server has been occupied.
+func (s *Server) Busy() Time { return s.busy }

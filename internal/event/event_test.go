@@ -1,0 +1,197 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOWithinSameTime(t *testing.T) {
+	var q Queue
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(5, func() { order = append(order, i) })
+	}
+	q.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (same-time events must run in insertion order)", i, v, i)
+		}
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	var q Queue
+	var order []Time
+	for _, at := range []Time{30, 10, 20, 10, 0} {
+		at := at
+		q.At(at, func() { order = append(order, at) })
+	}
+	end := q.Run()
+	want := []Time{0, 10, 10, 20, 30}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if end != 30 {
+		t.Fatalf("final time = %d, want 30", end)
+	}
+}
+
+func TestClockAdvancesDuringEvent(t *testing.T) {
+	var q Queue
+	var seen Time
+	q.At(7, func() { seen = q.Now() })
+	q.Run()
+	if seen != 7 {
+		t.Fatalf("Now() inside event = %d, want 7", seen)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	var q Queue
+	var hit Time
+	q.At(10, func() {
+		q.After(5, func() { hit = q.Now() })
+	})
+	q.Run()
+	if hit != 15 {
+		t.Fatalf("After fired at %d, want 15", hit)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var q Queue
+	q.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		q.At(5, func() {})
+	})
+	q.Run()
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	var q Queue
+	ran := 0
+	q.At(5, func() { ran++ })
+	q.At(10, func() { ran++ })
+	q.At(15, func() { ran++ })
+	if drained := q.RunUntil(10); drained {
+		t.Fatal("RunUntil(10) reported drained with an event at 15 pending")
+	}
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("pending = %d, want 1", q.Len())
+	}
+}
+
+func TestRunStepsWatchdog(t *testing.T) {
+	var q Queue
+	// A self-perpetuating event chain must be stoppable.
+	var rearm func()
+	rearm = func() { q.After(1, rearm) }
+	q.After(1, rearm)
+	if n := q.RunSteps(100); n != 100 {
+		t.Fatalf("RunSteps = %d, want 100", n)
+	}
+}
+
+func TestServerSerializes(t *testing.T) {
+	var s Server
+	start, done := s.Admit(0, 3)
+	if start != 0 || done != 3 {
+		t.Fatalf("first admit = (%d,%d), want (0,3)", start, done)
+	}
+	// Admitted while busy: queues behind.
+	start, done = s.Admit(1, 4)
+	if start != 3 || done != 7 {
+		t.Fatalf("second admit = (%d,%d), want (3,7)", start, done)
+	}
+	// Admitted after idle gap: starts immediately.
+	start, done = s.Admit(100, 2)
+	if start != 100 || done != 102 {
+		t.Fatalf("third admit = (%d,%d), want (100,102)", start, done)
+	}
+	if s.Busy() != 9 {
+		t.Fatalf("busy = %d, want 9", s.Busy())
+	}
+}
+
+func TestServerZeroOccupancy(t *testing.T) {
+	var s Server
+	s.Admit(0, 5)
+	start, done := s.Admit(0, 0)
+	if start != 5 || done != 5 {
+		t.Fatalf("zero-occupancy admit = (%d,%d), want (5,5)", start, done)
+	}
+}
+
+// Property: for any admission sequence, service intervals never overlap and
+// respect both arrival order and arrival times.
+func TestServerNoOverlapProperty(t *testing.T) {
+	f := func(arrivals []uint8, durs []uint8) bool {
+		var s Server
+		now := Time(0)
+		prevDone := Time(0)
+		n := len(arrivals)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		for i := 0; i < n; i++ {
+			now += Time(arrivals[i] % 16)
+			d := Time(durs[i] % 8)
+			start, done := s.Admit(now, d)
+			if start < now || start < prevDone || done != start+d {
+				return false
+			}
+			prevDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: events run in nondecreasing time order, and same-time events run
+// in insertion order.
+func TestQueueOrderingProperty(t *testing.T) {
+	f := func(times []uint8) bool {
+		var q Queue
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, tt := range times {
+			i, at := i, Time(tt%32)
+			q.At(at, func() { got = append(got, rec{at, i}) })
+		}
+		q.Run()
+		if len(got) != len(times) {
+			return false
+		}
+		seen := make(map[Time]int)
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+		}
+		for _, r := range got {
+			if last, ok := seen[r.at]; ok && r.seq < last {
+				return false
+			}
+			seen[r.at] = r.seq
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

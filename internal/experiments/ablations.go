@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dsisim/internal/core"
+	"dsisim/internal/machine"
+	"dsisim/internal/proto"
+	"dsisim/internal/workload"
+)
+
+// This file holds the ablation runners: variations the paper motivates but
+// does not tabulate (FIFO capacity, identifier bounds, the upgrade
+// exemption). They back the BenchmarkAblation* entries and the design-note
+// section of EXPERIMENTS.md.
+
+func runWith(name string, o Options, cons proto.Consistency, pol core.Policy) (machine.Result, error) {
+	o = o.defaults()
+	prog, err := workload.New(name, o.Scale)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	cfg := machine.Config{
+		Processors:     o.Processors,
+		CacheBytes:     o.Class.Bytes(),
+		CacheAssoc:     4,
+		NetworkLatency: o.Latency,
+		Consistency:    cons,
+		Policy:         pol,
+	}
+	res := machine.New(cfg).Run(prog)
+	if res.Failed() {
+		return res, fmt.Errorf("%s: %s", name, res.Errors[0])
+	}
+	return res, nil
+}
+
+// RunFIFO runs SC + version-number DSI with a FIFO of the given capacity.
+func RunFIFO(name string, capacity int, o Options) (machine.Result, error) {
+	return runWith(name, o, proto.SC, core.Policy{
+		Identifier:       core.Versions{},
+		NewMechanism:     func() core.Mechanism { return core.NewFIFO(capacity) },
+		UpgradeExemption: true,
+	})
+}
+
+// RunIdentifier runs SC DSI with the named identification scheme: "never"
+// (base protocol), "states", "versions", or "always" (mark everything, an
+// upper bound on self-invalidation aggressiveness).
+func RunIdentifier(name, id string, o Options) (machine.Result, error) {
+	pol := core.Policy{UpgradeExemption: true}
+	switch id {
+	case "never":
+		pol = core.Policy{}
+	case "states":
+		pol.Identifier = core.States{}
+	case "versions":
+		pol.Identifier = core.Versions{}
+	case "always":
+		pol.Identifier = core.Always{}
+	default:
+		return machine.Result{}, fmt.Errorf("experiments: unknown identifier %q", id)
+	}
+	return runWith(name, o, proto.SC, pol)
+}
+
+// RunUpgradeExemption runs SC + version DSI with the §4.1 upgrade special
+// case toggled.
+func RunUpgradeExemption(name string, exempt bool, o Options) (machine.Result, error) {
+	return runWith(name, o, proto.SC, core.Policy{
+		Identifier:       core.Versions{},
+		UpgradeExemption: exempt,
+	})
+}
+
+// RunMigratory runs SC with the migratory-sharing baseline, optionally
+// composed with version-number DSI.
+func RunMigratory(name string, withDSI bool, o Options) (machine.Result, error) {
+	pol := core.Policy{Migratory: true}
+	if withDSI {
+		pol.Identifier = core.Versions{}
+		pol.UpgradeExemption = true
+	}
+	return runWith(name, o, proto.SC, pol)
+}
+
+// RunLimitedDir runs a limited-pointer directory (Dir_iNB-style) with the
+// given pointer count, under the base protocol or with DSI + tear-off-free
+// version marking. DSI's self-invalidation keeps sharer sets small, so it
+// relieves pointer pressure — the interaction this ablation measures.
+func RunLimitedDir(name string, pointers int, dsi bool, o Options) (machine.Result, error) {
+	o = o.defaults()
+	prog, err := workload.New(name, o.Scale)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	pol := core.Policy{}
+	if dsi {
+		pol = core.Policy{Identifier: core.Versions{}, UpgradeExemption: true}
+	}
+	cfg := machine.Config{
+		Processors:     o.Processors,
+		CacheBytes:     o.Class.Bytes(),
+		CacheAssoc:     4,
+		NetworkLatency: o.Latency,
+		Consistency:    proto.SC,
+		SharerLimit:    pointers,
+		Policy:         pol,
+	}
+	res := machine.New(cfg).Run(prog)
+	if res.Failed() {
+		return res, fmt.Errorf("%s (limit %d): %s", name, pointers, res.Errors[0])
+	}
+	return res, nil
+}
+
+// RunWC runs weak consistency with a configurable write-buffer size (the
+// paper's is 16) for buffer-depth ablations.
+func RunWC(name string, wbEntries int, dsi bool, o Options) (machine.Result, error) {
+	o = o.defaults()
+	prog, err := workload.New(name, o.Scale)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	pol := core.Policy{}
+	if dsi {
+		pol = core.Policy{Identifier: core.Versions{}, TearOff: true}
+	}
+	cfg := machine.Config{
+		Processors:         o.Processors,
+		CacheBytes:         o.Class.Bytes(),
+		CacheAssoc:         4,
+		NetworkLatency:     o.Latency,
+		Consistency:        proto.WC,
+		WriteBufferEntries: wbEntries,
+		Policy:             pol,
+	}
+	res := machine.New(cfg).Run(prog)
+	if res.Failed() {
+		return res, fmt.Errorf("%s: %s", name, res.Errors[0])
+	}
+	return res, nil
+}

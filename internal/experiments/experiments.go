@@ -1,0 +1,300 @@
+// Package experiments defines the paper's evaluation: one driver per table
+// and figure of §5, each running the required (workload × protocol × cache
+// class × network latency) grid and rendering the same rows the paper
+// reports. cmd/dsibench and the repository's bench_test.go are thin
+// wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dsisim/internal/core"
+	"dsisim/internal/event"
+	"dsisim/internal/machine"
+	"dsisim/internal/proto"
+	"dsisim/internal/stats"
+	"dsisim/internal/workload"
+)
+
+// CacheClass stands in for the paper's 256 KB / 2 MB cache pair. Input
+// sizes are scaled down (DESIGN.md §4), so the classes are scaled with
+// them: what matters is which side of each workload's working set the
+// cache lands on (EXPERIMENTS.md records the calibration).
+type CacheClass int
+
+const (
+	// SmallCache corresponds to the paper's 256 KB configuration.
+	SmallCache CacheClass = iota
+	// LargeCache corresponds to the paper's 2 MB configuration.
+	LargeCache
+)
+
+func (c CacheClass) String() string {
+	if c == SmallCache {
+		return "256KB-class"
+	}
+	return "2MB-class"
+}
+
+// Bytes returns the simulated cache capacity of the class.
+func (c CacheClass) Bytes() int {
+	if c == SmallCache {
+		return 32 * 1024
+	}
+	return 512 * 1024
+}
+
+// Label is a protocol label as used in the paper's figures.
+type Label string
+
+// The protocol labels of Figures 3-6.
+const (
+	SC    Label = "SC"
+	W     Label = "W"
+	S     Label = "S"
+	V     Label = "V"
+	VFIFO Label = "V-FIFO"
+	WDSI  Label = "W+DSI"
+)
+
+// fifoEntries is the paper's FIFO capacity.
+const fifoEntries = 64
+
+// Config converts a label into a machine configuration.
+func (l Label) Config() (proto.Consistency, core.Policy) {
+	fifo := func() core.Mechanism { return core.NewFIFO(fifoEntries) }
+	switch l {
+	case SC:
+		return proto.SC, core.Policy{}
+	case W:
+		return proto.WC, core.Policy{}
+	case S:
+		return proto.SC, core.Policy{Identifier: core.States{}, UpgradeExemption: true}
+	case V:
+		return proto.SC, core.Policy{Identifier: core.Versions{}, UpgradeExemption: true}
+	case VFIFO:
+		return proto.SC, core.Policy{Identifier: core.Versions{}, NewMechanism: fifo, UpgradeExemption: true}
+	case WDSI:
+		return proto.WC, core.Policy{Identifier: core.Versions{}, TearOff: true}
+	default:
+		panic(fmt.Sprintf("experiments: unknown label %q", l))
+	}
+}
+
+// Options sets the grid-wide machine parameters.
+type Options struct {
+	Processors int            // default 32
+	Scale      workload.Scale // default ScalePaper
+	Latency    event.Time     // default 100
+	Class      CacheClass
+}
+
+func (o Options) defaults() Options {
+	if o.Processors == 0 {
+		o.Processors = 32
+	}
+	if o.Latency == 0 {
+		o.Latency = 100
+	}
+	return o
+}
+
+// workloadNew builds a fresh workload instance (sweeps.go helper).
+func workloadNew(name string, s workload.Scale) (machine.Program, error) {
+	return workload.New(name, s)
+}
+
+// RunOne simulates one (workload, protocol) cell.
+func RunOne(name string, label Label, o Options) (machine.Result, error) {
+	o = o.defaults()
+	prog, err := workload.New(name, o.Scale)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	cons, pol := label.Config()
+	cfg := machine.Config{
+		Processors:     o.Processors,
+		CacheBytes:     o.Class.Bytes(),
+		CacheAssoc:     4,
+		NetworkLatency: o.Latency,
+		Consistency:    cons,
+		Policy:         pol,
+	}
+	res := machine.New(cfg).Run(prog)
+	if res.Failed() {
+		return res, fmt.Errorf("%s/%s (%v, %d-cycle net): %s", name, label, o.Class, o.Latency, res.Errors[0])
+	}
+	return res, nil
+}
+
+// Matrix holds a (workload × protocol) grid of results for one Options.
+type Matrix struct {
+	Opt       Options
+	Workloads []string
+	Labels    []Label
+	cells     map[string]map[Label]machine.Result
+}
+
+// RunMatrix simulates the full grid. Cells are independent simulations
+// (each builds its own machine and workload instance), so they run
+// concurrently up to GOMAXPROCS; each cell remains bit-deterministic.
+func RunMatrix(workloads []string, labels []Label, o Options) (*Matrix, error) {
+	o = o.defaults()
+	m := &Matrix{Opt: o, Workloads: workloads, Labels: labels,
+		cells: make(map[string]map[Label]machine.Result)}
+	for _, w := range workloads {
+		m.cells[w] = make(map[Label]machine.Result)
+	}
+	type cell struct {
+		w string
+		l Label
+	}
+	var todo []cell
+	for _, w := range workloads {
+		for _, l := range labels {
+			todo = append(todo, cell{w, l})
+		}
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, c := range todo {
+		c := c
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := RunOne(c.w, c.l, o)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			m.cells[c.w][c.l] = res
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return m, nil
+}
+
+// Get returns the cell for (workload, label).
+func (m *Matrix) Get(w string, l Label) machine.Result { return m.cells[w][l] }
+
+// Normalized returns label's execution time divided by base's.
+func (m *Matrix) Normalized(w string, l, base Label) float64 {
+	b := m.cells[w][base].ExecTime
+	if b == 0 {
+		return 0
+	}
+	return float64(m.cells[w][l].ExecTime) / float64(b)
+}
+
+// Improvement returns the percent execution-time reduction of l vs base.
+func (m *Matrix) Improvement(w string, l, base Label) float64 {
+	return 1 - m.Normalized(w, l, base)
+}
+
+// Table renders normalized execution times against base.
+func (m *Matrix) Table(title string, base Label) stats.Table {
+	t := stats.Table{Title: title, Header: []string{"benchmark"}}
+	for _, l := range m.Labels {
+		t.Header = append(t.Header, string(l))
+	}
+	for _, w := range m.Workloads {
+		row := []string{w}
+		for _, l := range m.Labels {
+			row = append(row, stats.Norm(m.Normalized(w, l, base)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// chartSegments maps breakdown categories to stacked-bar runes, grouping
+// the paper's Figure 3 legend: computation, synchronization, read stalls,
+// write stalls, write-buffer stalls, and self-invalidation time.
+var chartSegments = []struct {
+	r    rune
+	name string
+	cats []stats.Category
+}{
+	{'#', "compute", []stats.Category{stats.Compute}},
+	{'%', "synch", []stats.Category{stats.Sync}},
+	{'-', "read stall", []stats.Category{stats.ReadInval, stats.ReadOther}},
+	{'=', "write stall", []stats.Category{stats.WriteInval, stats.WriteOther}},
+	{'~', "write buffer", []stats.Category{stats.SyncWB, stats.ReadWB, stats.WBFull}},
+	{'!', "dsi", []stats.Category{stats.DSIStall}},
+}
+
+// Chart renders the matrix as grouped stacked bars — the text analogue of
+// the paper's Figure 3/4/5 plots. Bar length is execution time normalized
+// to base; segments show where the cycles went.
+func (m *Matrix) Chart(title string, base Label) stats.BarChart {
+	c := stats.BarChart{Title: title, Width: 50, Scale: 1.0}
+	for _, seg := range chartSegments {
+		c.Legend = append(c.Legend, stats.LegendEntry{Rune: seg.r, Name: seg.name})
+	}
+	for _, w := range m.Workloads {
+		g := stats.BarGroup{Label: w}
+		for _, l := range m.Labels {
+			res := m.cells[w][l]
+			total := float64(res.Breakdown.Total())
+			bar := stats.Bar{Label: string(l), Value: m.Normalized(w, l, base)}
+			if total > 0 {
+				for _, seg := range chartSegments {
+					var cyc int64
+					for _, cat := range seg.cats {
+						cyc += res.Breakdown.Cycles[cat]
+					}
+					if cyc > 0 {
+						bar.Segments = append(bar.Segments, stats.Segment{Rune: seg.r, Frac: float64(cyc) / total})
+					}
+				}
+			}
+			g.Bars = append(g.Bars, bar)
+		}
+		c.Groups = append(c.Groups, g)
+	}
+	return c
+}
+
+// BreakdownTable renders the per-category execution-time shares of each
+// protocol for one workload — the stacked bars of Figure 3 as rows.
+func (m *Matrix) BreakdownTable(w string) stats.Table {
+	t := stats.Table{
+		Title:  fmt.Sprintf("%s: cycle breakdown (fraction of SC total)", w),
+		Header: []string{"category"},
+	}
+	for _, l := range m.Labels {
+		t.Header = append(t.Header, string(l))
+	}
+	bb := m.cells[w][m.Labels[0]].Breakdown
+	base := float64(bb.Total())
+	if base == 0 {
+		base = 1
+	}
+	for _, c := range stats.Categories() {
+		row := []string{c.String()}
+		nonzero := false
+		for _, l := range m.Labels {
+			v := float64(m.cells[w][l].Breakdown.Cycles[c]) / base
+			if v != 0 {
+				nonzero = true
+			}
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		if nonzero {
+			t.AddRow(row...)
+		}
+	}
+	return t
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dsisim/internal/event"
+	"dsisim/internal/stats"
+	"dsisim/internal/workload"
+)
+
+// This file defines one driver per paper artifact. Each returns both the
+// raw matrices (for assertions in tests) and rendered text (for
+// cmd/dsibench and EXPERIMENTS.md).
+
+// Artifact names accepted by Run.
+const (
+	ArtifactTable1 = "tab1"
+	ArtifactFig3   = "fig3"
+	ArtifactFig4   = "fig4"
+	ArtifactFig5   = "fig5"
+	ArtifactTable2 = "tab2" // includes Figure 6
+	ArtifactTable3 = "tab3"
+	// ArtifactSweeps is an extension beyond the paper: latency / cache /
+	// machine-size sensitivity of the DSI benefit.
+	ArtifactSweeps = "sweep"
+)
+
+// Artifacts lists every reproducible table/figure.
+func Artifacts() []string {
+	return []string{ArtifactTable1, ArtifactFig3, ArtifactFig4, ArtifactFig5, ArtifactTable2, ArtifactTable3, ArtifactSweeps}
+}
+
+// Run executes one artifact by name and returns its rendered report.
+func Run(name string, o Options) (string, error) {
+	switch name {
+	case ArtifactTable1:
+		return Table1(o.Scale), nil
+	case ArtifactFig3:
+		return Fig3(o)
+	case ArtifactFig4:
+		return Fig4(o)
+	case ArtifactFig5:
+		return Fig5(o)
+	case ArtifactTable2:
+		return Table2(o)
+	case ArtifactTable3:
+		return Table3(o)
+	case ArtifactSweeps:
+		return Sweeps(o)
+	default:
+		return "", fmt.Errorf("experiments: unknown artifact %q (have %v)", name, Artifacts())
+	}
+}
+
+// Table1 reports the application programs and their (scaled) input sets.
+func Table1(scale workload.Scale) string {
+	t := stats.Table{
+		Title:  "TABLE 1. Application Programs (scaled inputs, see DESIGN.md)",
+		Header: []string{"name", "input data set"},
+	}
+	desc := map[string]string{
+		"barnes":  describeBarnes(scale),
+		"em3d":    describeEM3D(scale),
+		"ocean":   describeOcean(scale),
+		"sparse":  describeSparse(scale),
+		"tomcatv": describeTomcatv(scale),
+	}
+	for _, n := range workload.PaperNames() {
+		t.AddRow(n, desc[n])
+	}
+	return t.Render()
+}
+
+func describeBarnes(s workload.Scale) string {
+	p := workload.BarnesDefaults()
+	if s == workload.ScaleTest {
+		return "64 bodies, 2 iterations (test scale)"
+	}
+	return fmt.Sprintf("%d bodies, %d iterations (paper: 2048 bodies, 5 iterations)", p.Bodies, p.Iters)
+}
+
+func describeEM3D(s workload.Scale) string {
+	p := workload.EM3DDefaults()
+	if s == workload.ScaleTest {
+		return "12 nodes/proc, 2 iterations (test scale)"
+	}
+	return fmt.Sprintf("%d nodes/proc, degree %d, %.0f%% remote, %d iterations (paper: 192,000 nodes, degree 5, 5%% remote)",
+		p.NodesPerProc, p.Degree, p.PctRemote*100, p.Iters)
+}
+
+func describeOcean(s workload.Scale) string {
+	p := workload.OceanDefaults()
+	if s == workload.ScaleTest {
+		return "16x16, 2 iterations (test scale)"
+	}
+	return fmt.Sprintf("%dx%d, %d iterations (paper: 98x98, 1 day)", p.N, p.N, p.Iters)
+}
+
+func describeSparse(s workload.Scale) string {
+	p := workload.SparseDefaults()
+	if s == workload.ScaleTest {
+		return "64 unknowns, 2 iterations (test scale)"
+	}
+	return fmt.Sprintf("%d unknowns dense, %d iterations (paper: 512x512 dense, 5 iterations)", p.N, p.Iters)
+}
+
+func describeTomcatv(s workload.Scale) string {
+	p := workload.TomcatvDefaults()
+	if s == workload.ScaleTest {
+		return "32x32, 2 iterations (test scale)"
+	}
+	return fmt.Sprintf("%dx%d, %d arrays, %d iterations (paper: 512x512, 5 iterations)", p.N, p.N, p.Arrays, p.Iters)
+}
+
+// Fig3Protocols are the bars of Figure 3, left to right.
+var Fig3Protocols = []Label{SC, W, S, V}
+
+// Fig3Matrices runs Figure 3's grid (both cache classes, 100-cycle
+// network) and returns one matrix per class.
+func Fig3Matrices(o Options) (small, large *Matrix, err error) {
+	o = o.defaults()
+	o.Latency = 100
+	o.Class = SmallCache
+	small, err = RunMatrix(workload.PaperNames(), Fig3Protocols, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	o.Class = LargeCache
+	large, err = RunMatrix(workload.PaperNames(), Fig3Protocols, o)
+	return small, large, err
+}
+
+// Fig3 renders Figure 3: normalized execution time under sequential
+// consistency with per-category breakdowns.
+func Fig3(o Options) (string, error) {
+	small, large, err := Fig3Matrices(o)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 3. Performance of Dynamic Self-Invalidation Under Sequential Consistency\n")
+	sb.WriteString("(execution time normalized to SC; 100-cycle network)\n\n")
+	t := small.Table(fmt.Sprintf("%v cache", SmallCache), SC)
+	sb.WriteString(t.Render())
+	sb.WriteByte('\n')
+	t = large.Table(fmt.Sprintf("%v cache", LargeCache), SC)
+	sb.WriteString(t.Render())
+	sb.WriteByte('\n')
+	sb.WriteString(large.Chart(fmt.Sprintf("%v cache, normalized execution time", LargeCache), SC).Render())
+	sb.WriteByte('\n')
+	for _, w := range workload.PaperNames() {
+		bt := large.BreakdownTable(w)
+		sb.WriteString(bt.Render())
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// Fig4Matrices runs the 1000-cycle-network grid of §5.2 (text numbers use
+// the small cache; Figure 4 itself shows the large cache).
+func Fig4Matrices(o Options) (small, large *Matrix, err error) {
+	o = o.defaults()
+	o.Latency = 1000
+	o.Class = SmallCache
+	small, err = RunMatrix(workload.PaperNames(), Fig3Protocols, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	o.Class = LargeCache
+	large, err = RunMatrix(workload.PaperNames(), Fig3Protocols, o)
+	return small, large, err
+}
+
+// Fig4 renders Figure 4: impact of network latency.
+func Fig4(o Options) (string, error) {
+	small, large, err := Fig4Matrices(o)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 4. Impact of Network Latency (1000-cycle network)\n\n")
+	sb.WriteString(small.Table(fmt.Sprintf("%v cache (§5.2 text)", SmallCache), SC).Render())
+	sb.WriteByte('\n')
+	sb.WriteString(large.Table(fmt.Sprintf("%v cache (Figure 4)", LargeCache), SC).Render())
+	sb.WriteByte('\n')
+	sb.WriteString(large.Chart(fmt.Sprintf("%v cache, 1000-cycle network", LargeCache), SC).Render())
+	return sb.String(), nil
+}
+
+// Fig5Protocols compares the self-invalidation mechanisms.
+var Fig5Protocols = []Label{SC, VFIFO, V}
+
+// Fig5Matrix runs Figure 5's grid: version-number DSI with the 64-entry
+// FIFO versus flush-at-synchronization, large cache, 100-cycle network.
+func Fig5Matrix(o Options) (*Matrix, error) {
+	o = o.defaults()
+	o.Latency = 100
+	o.Class = LargeCache
+	return RunMatrix(workload.PaperNames(), Fig5Protocols, o)
+}
+
+// Fig5 renders Figure 5: self-invalidation mechanisms.
+func Fig5(o Options) (string, error) {
+	m, err := Fig5Matrix(o)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 5. Self-Invalidation Mechanisms\n")
+	sb.WriteString("(2MB-class cache, 100-cycle network, DSI with version numbers)\n\n")
+	sb.WriteString(m.Table("execution time normalized to SC", SC).Render())
+	sb.WriteString("\nFIFO displacements (self-invalidations forced early by the 64-entry buffer):\n")
+	t := stats.Table{Header: []string{"benchmark", "displacements"}}
+	for _, w := range m.Workloads {
+		t.AddRow(w, fmt.Sprint(m.Get(w, VFIFO).FIFODisplacements))
+	}
+	sb.WriteString(t.Render())
+	return sb.String(), nil
+}
+
+// Table2Configs are the four machine configurations of Table 2.
+type Table2Cell struct {
+	Class   CacheClass
+	Latency int64
+}
+
+// Table2Matrices runs W vs W+DSI on the four configurations of Table 2 /
+// Figure 6.
+func Table2Matrices(o Options) (map[Table2Cell]*Matrix, error) {
+	o = o.defaults()
+	out := make(map[Table2Cell]*Matrix)
+	for _, cell := range []Table2Cell{
+		{SmallCache, 100}, {LargeCache, 100}, {SmallCache, 1000}, {LargeCache, 1000},
+	} {
+		oo := o
+		oo.Class = cell.Class
+		oo.Latency = event.Time(cell.Latency)
+		m, err := RunMatrix(workload.PaperNames(), []Label{W, WDSI}, oo)
+		if err != nil {
+			return nil, err
+		}
+		out[cell] = m
+	}
+	return out, nil
+}
+
+// Table2 renders Table 2 (and Figure 6's data): weakly consistent DSI
+// normalized execution time.
+func Table2(o Options) (string, error) {
+	ms, err := Table2Matrices(o)
+	if err != nil {
+		return "", err
+	}
+	t := stats.Table{
+		Title: "TABLE 2. Weakly Consistent DSI Normalized Execution Time (W+DSI / W)",
+		Header: []string{"benchmark",
+			"100cyc " + SmallCache.String(), "100cyc " + LargeCache.String(),
+			"1000cyc " + SmallCache.String(), "1000cyc " + LargeCache.String()},
+	}
+	for _, w := range workload.PaperNames() {
+		t.AddRow(w,
+			stats.Norm(ms[Table2Cell{SmallCache, 100}].Normalized(w, WDSI, W)),
+			stats.Norm(ms[Table2Cell{LargeCache, 100}].Normalized(w, WDSI, W)),
+			stats.Norm(ms[Table2Cell{SmallCache, 1000}].Normalized(w, WDSI, W)),
+			stats.Norm(ms[Table2Cell{LargeCache, 1000}].Normalized(w, WDSI, W)))
+	}
+	return t.Render(), nil
+}
+
+// Table3Matrices runs W vs W+DSI at 100 cycles on both cache classes for
+// the message-reduction table.
+func Table3Matrices(o Options) (small, large *Matrix, err error) {
+	o = o.defaults()
+	o.Latency = 100
+	o.Class = SmallCache
+	small, err = RunMatrix(workload.PaperNames(), []Label{W, WDSI}, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	o.Class = LargeCache
+	large, err = RunMatrix(workload.PaperNames(), []Label{W, WDSI}, o)
+	return small, large, err
+}
+
+// MessageReduction returns the fractional reduction (0..1) in total and
+// invalidation messages of W+DSI relative to W for one workload.
+func MessageReduction(m *Matrix, w string) (total, inval float64) {
+	base := m.Get(w, W).Messages
+	dsi := m.Get(w, WDSI).Messages
+	if bt := base.Total(); bt > 0 {
+		total = 1 - float64(dsi.Total())/float64(bt)
+	}
+	if bi := base.Invalidation(); bi > 0 {
+		inval = 1 - float64(dsi.Invalidation())/float64(bi)
+	}
+	return total, inval
+}
+
+// Table3 renders Table 3: DSI message reduction.
+func Table3(o Options) (string, error) {
+	small, large, err := Table3Matrices(o)
+	if err != nil {
+		return "", err
+	}
+	t := stats.Table{
+		Title: "TABLE 3. DSI Message Reduction (W+DSI vs W, 100-cycle network)",
+		Header: []string{"benchmark",
+			"total " + SmallCache.String(), "total " + LargeCache.String(),
+			"inval " + SmallCache.String(), "inval " + LargeCache.String()},
+	}
+	for _, w := range workload.PaperNames() {
+		ts, is := MessageReduction(small, w)
+		tl, il := MessageReduction(large, w)
+		t.AddRow(w, stats.Pct(ts), stats.Pct(tl), stats.Pct(is), stats.Pct(il))
+	}
+	return t.Render(), nil
+}

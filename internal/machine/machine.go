@@ -1,0 +1,273 @@
+// Package machine assembles the simulated multiprocessor: processors, cache
+// controllers, directory controllers, network, and the hardware barrier,
+// with the paper's timing parameters. It runs workload programs, clears
+// statistics after initialization (as the paper does), and audits coherence
+// invariants when the system quiesces.
+package machine
+
+import (
+	"fmt"
+
+	"dsisim/internal/cache"
+	"dsisim/internal/check"
+	"dsisim/internal/core"
+	"dsisim/internal/cpu"
+	"dsisim/internal/event"
+	"dsisim/internal/mem"
+	"dsisim/internal/netsim"
+	"dsisim/internal/proto"
+	"dsisim/internal/stats"
+)
+
+// Config parameterizes one simulated machine. The zero value is completed
+// by Defaults: the paper's 32-processor system with a 100-cycle network.
+type Config struct {
+	Processors         int
+	CacheBytes         int
+	CacheAssoc         int
+	NetworkLatency     event.Time
+	BarrierLatency     event.Time
+	Consistency        proto.Consistency
+	WriteBufferEntries int
+	// SharerLimit caps directory sharer pointers per block (0 = full map).
+	SharerLimit int
+	Policy      core.Policy
+	Seed        uint64
+	// MaxSteps bounds the event count (a livelock watchdog). 0 means the
+	// package default.
+	MaxSteps uint64
+	// Tracer, if set, observes every operation each processor issues in
+	// program order (internal/trace records with it).
+	Tracer func(proc int, op cpu.TraceOp)
+}
+
+// Defaults fills unset fields with the paper's configuration.
+func (c Config) Defaults() Config {
+	if c.Processors == 0 {
+		c.Processors = 32
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 * 1024
+	}
+	if c.CacheAssoc == 0 {
+		c.CacheAssoc = 4
+	}
+	if c.NetworkLatency == 0 {
+		c.NetworkLatency = 100
+	}
+	if c.BarrierLatency == 0 {
+		c.BarrierLatency = 100
+	}
+	if c.WriteBufferEntries == 0 {
+		c.WriteBufferEntries = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 2_000_000_000
+	}
+	if c.Policy.TearOff && c.Consistency != proto.WC {
+		panic("machine: tear-off blocks require weak consistency (use SCTearOff for the SC variant)")
+	}
+	if c.Policy.SCTearOff && c.Consistency != proto.SC {
+		panic("machine: SCTearOff applies to sequential consistency only")
+	}
+	return c
+}
+
+// Program is a runnable workload: it allocates its address space in Setup
+// and then runs Kernel on every processor. WarmupBarriers declares how many
+// barrier episodes constitute initialization; statistics are cleared when
+// that many have completed (0 measures everything).
+type Program interface {
+	Name() string
+	Setup(m *Machine)
+	Kernel(p *cpu.Proc)
+	WarmupBarriers() int
+}
+
+// Result reports one simulation run. All quantities cover the measured
+// region (after warm-up) unless stated otherwise.
+type Result struct {
+	Program   string
+	ExecTime  event.Time // last processor halt minus warm-up end
+	TotalTime event.Time // full run, including initialization
+	Breakdown stats.Breakdown
+	PerProc   []stats.Breakdown
+	Messages  netsim.Counts
+	Cache     []proto.CacheStats // full-run structural counters
+	Dir       []proto.DirStats
+	Barriers  int64
+	// FIFODisplacements sums, across nodes, the self-invalidations forced
+	// early by a finite FIFO mechanism (zero for flush-at-sync).
+	FIFODisplacements int64
+	Errors            []string
+}
+
+// Failed reports whether the run recorded any protocol, kernel, audit, or
+// deadlock errors.
+func (r *Result) Failed() bool { return len(r.Errors) > 0 }
+
+// Machine is one assembled system.
+type Machine struct {
+	cfg     Config
+	q       *event.Queue
+	net     *netsim.Network
+	layout  *mem.Layout
+	env     *proto.Env
+	ccs     []*proto.CacheCtrl
+	dcs     []*proto.DirCtrl
+	barrier *cpu.Barrier
+	fails   []string
+}
+
+// New assembles a machine from cfg (completed with Defaults).
+func New(cfg Config) *Machine {
+	cfg = cfg.Defaults()
+	m := &Machine{
+		cfg:    cfg,
+		q:      &event.Queue{},
+		layout: mem.NewLayout(cfg.Processors),
+	}
+	m.net = netsim.New(m.q, netsim.Config{Nodes: cfg.Processors, Latency: cfg.NetworkLatency})
+	m.env = &proto.Env{
+		Q: m.q, Net: m.net, Layout: m.layout,
+		CheckFail: func(format string, args ...any) {
+			m.fails = append(m.fails, fmt.Sprintf("t=%d: ", m.q.Now())+fmt.Sprintf(format, args...))
+		},
+	}
+	pcfg := proto.Config{
+		Consistency:        cfg.Consistency,
+		WriteBufferEntries: cfg.WriteBufferEntries,
+		SharerLimit:        cfg.SharerLimit,
+		Policy:             cfg.Policy,
+	}
+	geo := cache.Config{SizeBytes: cfg.CacheBytes, Assoc: cfg.CacheAssoc}
+	for i := 0; i < cfg.Processors; i++ {
+		m.ccs = append(m.ccs, proto.NewCacheCtrl(m.env, i, pcfg, geo))
+		m.dcs = append(m.dcs, proto.NewDirCtrl(m.env, i, pcfg))
+	}
+	for i := 0; i < cfg.Processors; i++ {
+		cc, dc := m.ccs[i], m.dcs[i]
+		m.net.SetHandler(i, func(msg netsim.Message) {
+			switch msg.Kind {
+			case netsim.Inv, netsim.Recall, netsim.DataS, netsim.DataX,
+				netsim.AckX, netsim.FinalAck:
+				cc.Handle(msg)
+			default:
+				dc.Handle(msg)
+			}
+		})
+	}
+	m.barrier = cpu.NewBarrier(m.q, cfg.Processors, cfg.BarrierLatency)
+	return m
+}
+
+// Config returns the machine's (defaulted) configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Layout returns the address-space allocator for Program.Setup.
+func (m *Machine) Layout() *mem.Layout { return m.layout }
+
+// CacheCtrl returns node's cache controller (for checkers and examples).
+func (m *Machine) CacheCtrl(node int) *proto.CacheCtrl { return m.ccs[node] }
+
+// DirCtrl returns node's directory controller.
+func (m *Machine) DirCtrl(node int) *proto.DirCtrl { return m.dcs[node] }
+
+// Run executes the program to completion and returns the measurements. A
+// machine is single-use: build a fresh one per run.
+func (m *Machine) Run(prog Program) Result {
+	prog.Setup(m)
+
+	n := m.cfg.Processors
+	brks := make([]*stats.Breakdown, n)
+	procs := make([]*cpu.Proc, n)
+	for i := 0; i < n; i++ {
+		brks[i] = &stats.Breakdown{}
+		procs[i] = cpu.New(i, n, m.q, m.ccs[i], m.barrier, brks[i], m.cfg.Seed)
+		if tr := m.cfg.Tracer; tr != nil {
+			i := i
+			procs[i].OnOp = func(op cpu.TraceOp) { tr(i, op) }
+		}
+	}
+
+	// Warm-up boundary: snapshot statistics when initialization ends.
+	var (
+		warmEnd   event.Time
+		warmBrks  []stats.Breakdown
+		warmMsgs  netsim.Counts
+		warmTaken = prog.WarmupBarriers() == 0
+	)
+	if !warmTaken {
+		want := int64(prog.WarmupBarriers())
+		m.barrier.OnRelease = func(ep int64) {
+			if warmTaken || ep < want {
+				return
+			}
+			warmTaken = true
+			warmEnd = m.q.Now()
+			warmMsgs = m.net.Counts()
+			warmBrks = make([]stats.Breakdown, n)
+			for i, b := range brks {
+				warmBrks[i] = *b
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		procs[i].Start(prog.Kernel)
+	}
+	steps := m.q.RunSteps(m.cfg.MaxSteps)
+
+	res := Result{Program: prog.Name(), TotalTime: m.q.Now(), Barriers: m.barrier.Episodes}
+	res.Errors = append(res.Errors, m.fails...)
+	if steps == m.cfg.MaxSteps && m.q.Len() > 0 {
+		res.Errors = append(res.Errors, fmt.Sprintf("watchdog: %d events executed without quiescing", steps))
+		return res
+	}
+
+	var last event.Time
+	for i, p := range procs {
+		if !p.Done() {
+			res.Errors = append(res.Errors, fmt.Sprintf("proc %d deadlocked (%d parked at barrier)", i, m.barrier.Waiting()))
+			continue
+		}
+		if p.Err() != nil {
+			res.Errors = append(res.Errors, fmt.Sprintf("proc %d: %v", i, p.Err()))
+		}
+		if p.HaltTime() > last {
+			last = p.HaltTime()
+		}
+	}
+	if !warmTaken {
+		res.Errors = append(res.Errors, fmt.Sprintf("warm-up never ended: %d barrier episodes < %d",
+			m.barrier.Episodes, prog.WarmupBarriers()))
+	}
+
+	res.ExecTime = last - warmEnd
+	res.Messages = m.net.Counts().Sub(warmMsgs)
+	res.PerProc = make([]stats.Breakdown, n)
+	for i, b := range brks {
+		pb := *b
+		if warmBrks != nil {
+			for c := range pb.Cycles {
+				pb.Cycles[c] -= warmBrks[i].Cycles[c]
+			}
+		}
+		res.PerProc[i] = pb
+		res.Breakdown.Merge(&pb)
+	}
+	for i := 0; i < n; i++ {
+		res.Cache = append(res.Cache, m.ccs[i].Stats())
+		res.Dir = append(res.Dir, m.dcs[i].Stats())
+		if f, ok := m.ccs[i].Mechanism().(*core.FIFO); ok {
+			res.FIFODisplacements += f.Displacements
+		}
+	}
+	for _, err := range check.Audit(m.ccs, m.dcs, m.net.InFlight()) {
+		res.Errors = append(res.Errors, "audit: "+err.Error())
+	}
+	return res
+}

@@ -1,0 +1,331 @@
+package machine
+
+import (
+	"testing"
+
+	"dsisim/internal/core"
+	"dsisim/internal/cpu"
+	"dsisim/internal/event"
+	"dsisim/internal/mem"
+	"dsisim/internal/proto"
+	"dsisim/internal/stats"
+)
+
+// prog is an inline test program.
+type prog struct {
+	name   string
+	setup  func(m *Machine)
+	kernel func(p *cpu.Proc)
+	warmup int
+}
+
+func (p *prog) Name() string { return p.name }
+func (p *prog) Setup(m *Machine) {
+	if p.setup != nil {
+		p.setup(m)
+	}
+}
+func (p *prog) Kernel(pr *cpu.Proc) { p.kernel(pr) }
+func (p *prog) WarmupBarriers() int { return p.warmup }
+
+// configs lists machine configurations every correctness test runs under.
+func configs() map[string]Config {
+	return map[string]Config{
+		"sc":          {Consistency: proto.SC},
+		"sc-states":   {Consistency: proto.SC, Policy: core.Policy{Identifier: core.States{}, UpgradeExemption: true}},
+		"sc-versions": {Consistency: proto.SC, Policy: core.Policy{Identifier: core.Versions{}, UpgradeExemption: true}},
+		"sc-fifo": {Consistency: proto.SC, Policy: core.Policy{
+			Identifier:   core.Versions{},
+			NewMechanism: func() core.Mechanism { return core.NewFIFO(8) },
+		}},
+		"wc":         {Consistency: proto.WC},
+		"wc-dsi":     {Consistency: proto.WC, Policy: core.Policy{Identifier: core.Versions{}}},
+		"wc-tearoff": {Consistency: proto.WC, Policy: core.Policy{Identifier: core.Versions{}, TearOff: true}},
+	}
+}
+
+func small(cfg Config, procs int) Config {
+	cfg.Processors = procs
+	cfg.CacheBytes = 64 * mem.BlockSize // small but multi-set
+	cfg.CacheAssoc = 4
+	return cfg
+}
+
+func mustClean(t *testing.T, r Result) {
+	t.Helper()
+	if r.Failed() {
+		t.Fatalf("run failed:\n%s", r.Errors[0])
+	}
+}
+
+func TestComputeOnlyTiming(t *testing.T) {
+	m := New(small(Config{Consistency: proto.SC}, 1))
+	r := m.Run(&prog{name: "compute", kernel: func(p *cpu.Proc) {
+		p.Compute(1000)
+	}})
+	mustClean(t, r)
+	if r.ExecTime != 1000 {
+		t.Fatalf("exec time = %d, want 1000", r.ExecTime)
+	}
+	if r.Breakdown.Cycles[stats.Compute] != 1000 {
+		t.Fatalf("compute cycles = %d", r.Breakdown.Cycles[stats.Compute])
+	}
+}
+
+// Producer-consumer through a barrier: the consumer must observe the
+// producer's token under every configuration, including tear-off.
+func TestProducerConsumerAllConfigs(t *testing.T) {
+	for name, cfg := range configs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			var data mem.Region
+			p := &prog{
+				name: "prodcons",
+				setup: func(m *Machine) {
+					data = m.Layout().AllocInterleaved("data", 16*mem.BlockSize)
+				},
+				kernel: func(p *cpu.Proc) {
+					const rounds = 5
+					for round := 0; round < rounds; round++ {
+						if p.ID() == 0 {
+							for i := 0; i < 16; i++ {
+								p.Write(data.Addr(uint64(i) * mem.BlockSize))
+							}
+						}
+						p.Barrier()
+						if p.ID() != 0 {
+							for i := 0; i < 16; i++ {
+								v := p.Read(data.Addr(uint64(i) * mem.BlockSize))
+								p.Assert(v.Writer == 0, "round %d blk %d: writer %d", round, i, v.Writer)
+								p.Assert(v.Seq == uint64(round*16+i+1), "round %d blk %d: seq %d", round, i, v.Seq)
+							}
+						}
+						p.Barrier()
+					}
+				},
+			}
+			r := New(small(cfg, 4)).Run(p)
+			mustClean(t, r)
+			if r.Barriers != 10 {
+				t.Fatalf("barrier episodes = %d, want 10", r.Barriers)
+			}
+		})
+	}
+}
+
+// Lock-protected counter: mutual exclusion must hold under every
+// configuration (word increments are read-modify-write on a shared block).
+func TestLockedCounterAllConfigs(t *testing.T) {
+	for name, cfg := range configs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			var lock, counter mem.Region
+			const iters = 10
+			p := &prog{
+				name: "counter",
+				setup: func(m *Machine) {
+					lock = m.Layout().AllocInterleaved("lock", mem.BlockSize)
+					counter = m.Layout().AllocInterleaved("counter", mem.BlockSize)
+				},
+				kernel: func(p *cpu.Proc) {
+					for i := 0; i < iters; i++ {
+						p.Lock(lock.Addr(0))
+						v := p.Read(counter.Addr(0))
+						p.WriteWord(counter.Addr(0), v.Word+1)
+						p.Unlock(lock.Addr(0))
+						p.Compute(int64(10 + p.ID()*3))
+					}
+					p.Barrier()
+					if p.ID() == 0 {
+						v := p.Read(counter.Addr(0))
+						p.Assert(v.Word == uint64(p.N()*iters),
+							"counter = %d, want %d", v.Word, p.N()*iters)
+					}
+				},
+			}
+			r := New(small(cfg, 4)).Run(p)
+			mustClean(t, r)
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		var data mem.Region
+		p := &prog{
+			name: "det",
+			setup: func(m *Machine) {
+				data = m.Layout().AllocBlocked("data", 64*mem.BlockSize)
+			},
+			kernel: func(p *cpu.Proc) {
+				rnd := p.RNG()
+				for i := 0; i < 200; i++ {
+					a := data.Addr(uint64(rnd.Intn(64)) * mem.BlockSize)
+					if rnd.Bool(0.3) {
+						p.Write(a)
+					} else {
+						p.Read(a)
+					}
+					p.Compute(int64(rnd.Intn(20)))
+				}
+				p.Barrier()
+			},
+		}
+		cfg := small(Config{Consistency: proto.WC, Policy: core.Policy{Identifier: core.Versions{}, TearOff: true}}, 6)
+		return New(cfg).Run(p)
+	}
+	a, b := run(), run()
+	mustClean(t, a)
+	if a.ExecTime != b.ExecTime {
+		t.Fatalf("nondeterministic exec time: %d vs %d", a.ExecTime, b.ExecTime)
+	}
+	if a.Messages != b.Messages {
+		t.Fatalf("nondeterministic traffic:\n%v\n%v", a.Messages, b.Messages)
+	}
+	if a.Breakdown != b.Breakdown {
+		t.Fatalf("nondeterministic breakdown:\n%v\n%v", &a.Breakdown, &b.Breakdown)
+	}
+}
+
+func TestWarmupClearsStatistics(t *testing.T) {
+	var data mem.Region
+	p := &prog{
+		name:   "warm",
+		warmup: 1,
+		setup: func(m *Machine) {
+			data = m.Layout().AllocInterleaved("data", 32*mem.BlockSize)
+		},
+		kernel: func(p *cpu.Proc) {
+			// Heavy traffic during init, light after.
+			for i := 0; i < 32; i++ {
+				p.Write(data.Addr(uint64(i) * mem.BlockSize))
+			}
+			p.Barrier() // end of warm-up
+			p.Compute(500)
+		},
+	}
+	r := New(small(Config{Consistency: proto.SC}, 2)).Run(p)
+	mustClean(t, r)
+	if r.ExecTime < 500 || r.ExecTime > 600 {
+		t.Fatalf("measured exec time = %d, want ≈ 500 (init excluded)", r.ExecTime)
+	}
+	if got := r.Breakdown.Cycles[stats.WriteOther] + r.Breakdown.Cycles[stats.WriteInval]; got != 0 {
+		t.Fatalf("write stall cycles leaked into the measured region: %d", got)
+	}
+	if r.Messages.Total() != 0 {
+		t.Fatalf("messages leaked into the measured region: %d", r.Messages.Total())
+	}
+	if r.TotalTime <= r.ExecTime {
+		t.Fatal("total time should exceed the measured region")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	p := &prog{
+		name: "deadlock",
+		kernel: func(p *cpu.Proc) {
+			if p.ID() != 0 {
+				p.Barrier() // proc 0 never arrives
+			}
+		},
+	}
+	r := New(small(Config{Consistency: proto.SC}, 3)).Run(p)
+	if !r.Failed() {
+		t.Fatal("deadlock not reported")
+	}
+}
+
+func TestKernelAssertSurfacesAsError(t *testing.T) {
+	p := &prog{
+		name:   "assert",
+		kernel: func(p *cpu.Proc) { p.Assert(false, "boom %d", p.ID()) },
+	}
+	r := New(small(Config{Consistency: proto.SC}, 2)).Run(p)
+	if !r.Failed() {
+		t.Fatal("assertion did not surface")
+	}
+}
+
+func TestTearOffRequiresWC(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tear-off under SC did not panic")
+		}
+	}()
+	New(Config{Consistency: proto.SC, Policy: core.Policy{Identifier: core.Versions{}, TearOff: true}})
+}
+
+// Migratory data: each processor in turn updates every block; DSI's marked
+// exclusive blocks must carry values intact around the ring.
+func TestMigratoryRingAllConfigs(t *testing.T) {
+	for name, cfg := range configs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			var data mem.Region
+			const blocks = 8
+			p := &prog{
+				name: "ring",
+				setup: func(m *Machine) {
+					data = m.Layout().AllocInterleaved("ring", blocks*mem.BlockSize)
+				},
+				kernel: func(p *cpu.Proc) {
+					for turn := 0; turn < p.N(); turn++ {
+						if turn == p.ID() {
+							for i := 0; i < blocks; i++ {
+								a := data.Addr(uint64(i) * mem.BlockSize)
+								v := p.Read(a)
+								p.WriteWord(a, v.Word+1)
+							}
+						}
+						p.Barrier()
+					}
+					if p.ID() == 0 {
+						for i := 0; i < blocks; i++ {
+							v := p.Read(data.Addr(uint64(i) * mem.BlockSize))
+							p.Assert(v.Word == uint64(p.N()), "block %d word %d", i, v.Word)
+						}
+					}
+				},
+			}
+			r := New(small(cfg, 4)).Run(p)
+			mustClean(t, r)
+		})
+	}
+}
+
+// ExecTime must scale with network latency for a communication-bound
+// program.
+func TestNetworkLatencySensitivity(t *testing.T) {
+	run := func(lat event.Time) event.Time {
+		var data mem.Region
+		p := &prog{
+			name: "lat",
+			setup: func(m *Machine) {
+				data = m.Layout().AllocInterleaved("d", 16*mem.BlockSize)
+			},
+			kernel: func(p *cpu.Proc) {
+				for r := 0; r < 3; r++ {
+					if p.ID() == 0 {
+						for i := 0; i < 16; i++ {
+							p.Write(data.Addr(uint64(i) * mem.BlockSize))
+						}
+					}
+					p.Barrier()
+					for i := 0; i < 16; i++ {
+						p.Read(data.Addr(uint64(i) * mem.BlockSize))
+					}
+					p.Barrier()
+				}
+			},
+		}
+		cfg := small(Config{Consistency: proto.SC}, 4)
+		cfg.NetworkLatency = lat
+		r := New(cfg).Run(p)
+		mustClean(t, r)
+		return r.ExecTime
+	}
+	fast, slow := run(100), run(1000)
+	if slow <= fast*2 {
+		t.Fatalf("1000-cycle network (%d) not much slower than 100-cycle (%d)", slow, fast)
+	}
+}

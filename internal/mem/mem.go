@@ -1,0 +1,226 @@
+// Package mem defines the simulated physical address space: block geometry,
+// region allocation with placement policies, the home-node map, and the
+// block value store used by the coherence checker.
+//
+// The paper's machine uses 32-byte cache blocks; that geometry is fixed here
+// as constants and shared by every other package.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Block geometry, fixed to the paper's configuration.
+const (
+	BlockShift = 5               // log2(block size)
+	BlockSize  = 1 << BlockShift // 32 bytes
+	BlockMask  = ^Addr(BlockSize - 1)
+)
+
+// Addr is a byte address in the simulated shared address space.
+type Addr uint64
+
+// BlockOf returns the address of the block containing a.
+func BlockOf(a Addr) Addr { return a & BlockMask }
+
+// BlockIndex returns a's block number (address / 32).
+func BlockIndex(a Addr) uint64 { return uint64(a) >> BlockShift }
+
+// Placement selects how a region's blocks map to home nodes.
+type Placement int
+
+const (
+	// Local places every block of the region at one node. Used for
+	// per-processor private heaps and locally-allocated shared data (the
+	// EM3D style where writes always occur at the home).
+	Local Placement = iota
+	// Interleaved places consecutive blocks round-robin across all nodes,
+	// the default for shared arrays without a better mapping.
+	Interleaved
+	// Blocked splits the region into contiguous per-node chunks, matching
+	// row-partitioned grids where each processor's slice is homed with it.
+	Blocked
+)
+
+func (p Placement) String() string {
+	switch p {
+	case Local:
+		return "local"
+	case Interleaved:
+		return "interleaved"
+	case Blocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Region is a contiguous allocated range of the address space with one
+// placement policy.
+type Region struct {
+	Name  string
+	Base  Addr
+	Size  uint64 // bytes, multiple of BlockSize
+	Place Placement
+	Node  int // for Local placement
+}
+
+// Contains reports whether a falls inside the region.
+func (r Region) Contains(a Addr) bool {
+	return a >= r.Base && uint64(a-r.Base) < r.Size
+}
+
+// End returns the first address past the region.
+func (r Region) End() Addr { return r.Base + Addr(r.Size) }
+
+// Addr returns the address at byte offset off into the region, panicking on
+// overflow so workload indexing bugs surface immediately.
+func (r Region) Addr(off uint64) Addr {
+	if off >= r.Size {
+		panic(fmt.Sprintf("mem: offset %d out of region %q (size %d)", off, r.Name, r.Size))
+	}
+	return r.Base + Addr(off)
+}
+
+// Layout is the machine's address map: an allocator plus the home function.
+// It is not safe for concurrent use; workloads allocate during setup only.
+type Layout struct {
+	nodes   int
+	next    Addr
+	regions []Region // sorted by Base
+}
+
+// NewLayout returns an empty layout for a machine with nodes processor
+// nodes. Allocation starts above address 0 so that the zero Addr can be
+// treated as "no address" by callers.
+func NewLayout(nodes int) *Layout {
+	if nodes <= 0 {
+		panic("mem: layout needs at least one node")
+	}
+	return &Layout{nodes: nodes, next: BlockSize}
+}
+
+// Nodes returns the node count the layout was built for.
+func (l *Layout) Nodes() int { return l.nodes }
+
+// Regions returns the allocated regions in address order.
+func (l *Layout) Regions() []Region { return l.regions }
+
+func (l *Layout) alloc(name string, size uint64, place Placement, node int) Region {
+	if size == 0 {
+		panic(fmt.Sprintf("mem: zero-size region %q", name))
+	}
+	if node < 0 || node >= l.nodes {
+		panic(fmt.Sprintf("mem: region %q node %d out of range", name, node))
+	}
+	size = (size + BlockSize - 1) &^ (BlockSize - 1)
+	r := Region{Name: name, Base: l.next, Size: size, Place: place, Node: node}
+	l.next += Addr(size)
+	l.regions = append(l.regions, r)
+	return r
+}
+
+// AllocLocal allocates size bytes homed entirely at node.
+func (l *Layout) AllocLocal(name string, size uint64, node int) Region {
+	return l.alloc(name, size, Local, node)
+}
+
+// AllocInterleaved allocates size bytes with blocks homed round-robin.
+func (l *Layout) AllocInterleaved(name string, size uint64) Region {
+	return l.alloc(name, size, Interleaved, 0)
+}
+
+// AllocBlocked allocates size bytes split into contiguous per-node chunks.
+func (l *Layout) AllocBlocked(name string, size uint64) Region {
+	return l.alloc(name, size, Blocked, 0)
+}
+
+// RegionOf returns the region containing a, or false if a is unallocated.
+func (l *Layout) RegionOf(a Addr) (Region, bool) {
+	i := sort.Search(len(l.regions), func(i int) bool { return l.regions[i].End() > a })
+	if i < len(l.regions) && l.regions[i].Contains(a) {
+		return l.regions[i], true
+	}
+	return Region{}, false
+}
+
+// Home returns the home node of the block containing a. Unallocated
+// addresses interleave by block index, so ad-hoc test addresses still have a
+// well-defined home.
+func (l *Layout) Home(a Addr) int {
+	r, ok := l.RegionOf(a)
+	if !ok {
+		return int(BlockIndex(a)) % l.nodes
+	}
+	switch r.Place {
+	case Local:
+		return r.Node
+	case Interleaved:
+		return int(BlockIndex(a)-BlockIndex(r.Base)) % l.nodes
+	case Blocked:
+		blocks := r.Size / BlockSize
+		idx := BlockIndex(a) - BlockIndex(r.Base)
+		return int(idx * uint64(l.nodes) / blocks)
+	default:
+		panic("mem: unknown placement")
+	}
+}
+
+// WordsPerBlock is how many 8-byte data words one cache block holds.
+const WordsPerBlock = BlockSize / 8
+
+// WordIndex returns which of the block's words address a selects.
+func WordIndex(a Addr) int { return int(a>>3) & (WordsPerBlock - 1) }
+
+// Value is the contents of a block: a coherence-checking token (who wrote
+// the block last, and that writer's store sequence number) plus the
+// block's four 8-byte data words, used by synchronization variables and
+// workload generation counters. The zero Value is the initial contents of
+// all memory.
+type Value struct {
+	Writer int
+	Seq    uint64
+	Words  [WordsPerBlock]uint64
+}
+
+// WordAt returns the data word address a selects within the block.
+func (v Value) WordAt(a Addr) uint64 { return v.Words[WordIndex(a)] }
+
+// IsZero reports whether v is the initial (never written) value.
+func (v Value) IsZero() bool { return v == Value{} }
+
+func (v Value) String() string {
+	if v.IsZero() {
+		return "<init>"
+	}
+	return fmt.Sprintf("w%d#%d%v", v.Writer, v.Seq, v.Words)
+}
+
+// Memory is a sparse block-granularity value store, used both as the
+// simulated main memory contents at the homes and as the checker's golden
+// image. The zero value is an all-zeroes memory.
+type Memory struct {
+	blocks map[Addr]Value
+}
+
+// Read returns the value of the block containing a.
+func (m *Memory) Read(a Addr) Value { return m.blocks[BlockOf(a)] }
+
+// Write stores v into the block containing a.
+func (m *Memory) Write(a Addr, v Value) {
+	if m.blocks == nil {
+		m.blocks = make(map[Addr]Value)
+	}
+	m.blocks[BlockOf(a)] = v
+}
+
+// Len returns how many blocks have ever been written.
+func (m *Memory) Len() int { return len(m.blocks) }
+
+// ForEach calls fn for every written block in unspecified order.
+func (m *Memory) ForEach(fn func(block Addr, v Value)) {
+	for a, v := range m.blocks {
+		fn(a, v)
+	}
+}

@@ -1,0 +1,250 @@
+// Package netsim models the interconnect of the simulated machine exactly as
+// the paper's methodology describes it: a constant-latency point-to-point
+// network with no switch contention, but with contention modeled at each
+// node's network interface. Injecting a message occupies the sender's NI for
+// 3 cycles, plus 8 more if the message carries a cache block.
+//
+// Because injection is serialized per node and flight time is constant,
+// delivery between any ordered pair of nodes is FIFO; the coherence protocol
+// in internal/proto relies on that ordering (e.g. a writeback racing an
+// invalidation always reaches the home first).
+//
+// The package also owns the protocol message taxonomy so that message
+// counting — the subject of Table 3 of the paper — lives in one place.
+package netsim
+
+import (
+	"fmt"
+
+	"dsisim/internal/event"
+	"dsisim/internal/mem"
+)
+
+// Kind enumerates every coherence message the protocols exchange.
+type Kind int
+
+const (
+	// Requests, cache -> home directory.
+	GetS    Kind = iota // read miss
+	GetX                // write miss
+	Upgrade             // write miss while holding a shared copy
+	// Directory-initiated coherence actions.
+	Inv    // invalidate a shared copy
+	Recall // downgrade an exclusive copy to shared (read by another node)
+	// Cache responses to coherence actions.
+	InvAck     // invalidation acknowledged, no data
+	InvAckData // invalidation of an exclusive copy, carries the dirty block
+	RecallAck  // downgrade acknowledged, carries the block
+	// Directory replies.
+	DataS    // shared-readable block
+	DataX    // exclusive block
+	AckX     // upgrade granted, no data needed
+	FinalAck // weak consistency: all invalidations collected for a prior DataX/AckX
+	// Cache-initiated, unsolicited.
+	WB         // replacement writeback of an exclusive block (data)
+	Repl       // replacement hint for a shared copy (no data)
+	SInvNotify // self-invalidation of a tracked shared copy (no data)
+	SInvWB     // self-invalidation of an exclusive copy (data)
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"GetS", "GetX", "Upgrade", "Inv", "Recall", "InvAck", "InvAckData",
+	"RecallAck", "DataS", "DataX", "AckX", "FinalAck", "WB", "Repl",
+	"SInvNotify", "SInvWB",
+}
+
+func (k Kind) String() string {
+	if k < 0 || k >= NumKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// HasData reports whether messages of this kind carry a cache block and
+// therefore pay the extra 8-cycle injection overhead.
+func (k Kind) HasData() bool {
+	switch k {
+	case InvAckData, RecallAck, DataS, DataX, WB, SInvWB:
+		return true
+	}
+	return false
+}
+
+// IsInvalidation reports whether the kind counts as an "invalidation
+// message" for Table 3: explicit invalidations, recalls, and their
+// acknowledgments — the traffic DSI exists to eliminate.
+func (k Kind) IsInvalidation() bool {
+	switch k {
+	case Inv, InvAck, InvAckData, Recall, RecallAck:
+		return true
+	}
+	return false
+}
+
+// Message is one coherence protocol message. Fields beyond Kind/Src/Dst/Addr
+// are used by subsets of the kinds; unused fields stay zero.
+type Message struct {
+	Kind Kind
+	Src  int
+	Dst  int
+	Addr mem.Addr // block address
+
+	Data mem.Value // block contents, for kinds with HasData
+
+	// Request annotations.
+	Ver    uint8 // version number echoed by the cache (version-number DSI)
+	HasVer bool  // the cache had a matching tag and supplied Ver
+
+	// Reply annotations.
+	SI      bool       // block is marked for self-invalidation
+	TearOff bool       // block granted untracked (tear-off)
+	InvWait event.Time // cycles the directory waited on invalidations for this reply
+	Pending bool       // weak consistency: a FinalAck will follow this DataX/AckX
+}
+
+func (m Message) String() string {
+	return fmt.Sprintf("%s %d->%d blk=%#x", m.Kind, m.Src, m.Dst, uint64(m.Addr))
+}
+
+// Injection and delivery constants from the paper's methodology section.
+const (
+	InjectCycles = 3 // NI occupancy per message
+	BlockCycles  = 8 // additional NI occupancy when carrying a block
+	// LocalDelay is the delivery time for a node messaging itself (cache to
+	// its own directory). Such messages never enter the network and are not
+	// counted as network traffic.
+	LocalDelay = 1
+)
+
+// Counts aggregates message traffic by kind.
+type Counts struct {
+	ByKind [NumKinds]int64
+}
+
+// Total returns the number of network messages of all kinds.
+func (c Counts) Total() int64 {
+	var t int64
+	for _, v := range c.ByKind {
+		t += v
+	}
+	return t
+}
+
+// Invalidation returns the number of invalidation-class messages.
+func (c Counts) Invalidation() int64 {
+	var t int64
+	for k, v := range c.ByKind {
+		if Kind(k).IsInvalidation() {
+			t += v
+		}
+	}
+	return t
+}
+
+// Sub returns c - o, kind by kind.
+func (c Counts) Sub(o Counts) Counts {
+	var out Counts
+	for i := range c.ByKind {
+		out.ByKind[i] = c.ByKind[i] - o.ByKind[i]
+	}
+	return out
+}
+
+// Handler consumes a delivered message at its destination node.
+type Handler func(Message)
+
+// Config parameterizes a Network.
+type Config struct {
+	Nodes   int
+	Latency event.Time // constant flight time, 100 or 1000 in the paper
+}
+
+// Network is the interconnect instance. It is driven entirely by the event
+// queue; Send may only be called from inside events.
+type Network struct {
+	q        *event.Queue
+	latency  event.Time
+	nis      []event.Server
+	handlers []Handler
+	counts   Counts
+	inflight int
+}
+
+// New builds a network. Handlers start nil; the machine must register one
+// per node before any traffic flows.
+func New(q *event.Queue, cfg Config) *Network {
+	if cfg.Nodes <= 0 {
+		panic("netsim: need at least one node")
+	}
+	if cfg.Latency < 0 {
+		panic("netsim: negative latency")
+	}
+	return &Network{
+		q:        q,
+		latency:  cfg.Latency,
+		nis:      make([]event.Server, cfg.Nodes),
+		handlers: make([]Handler, cfg.Nodes),
+	}
+}
+
+// SetHandler registers the delivery callback for node's incoming messages.
+func (n *Network) SetHandler(node int, h Handler) { n.handlers[node] = h }
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return len(n.nis) }
+
+// Latency returns the configured flight time.
+func (n *Network) Latency() event.Time { return n.latency }
+
+// InFlight returns the number of messages sent but not yet delivered.
+func (n *Network) InFlight() int { return n.inflight }
+
+// Counts returns a snapshot of the traffic counters.
+func (n *Network) Counts() Counts { return n.counts }
+
+// InjectionTime returns the NI occupancy for a message of kind k.
+func InjectionTime(k Kind) event.Time {
+	t := event.Time(InjectCycles)
+	if k.HasData() {
+		t += BlockCycles
+	}
+	return t
+}
+
+// Send injects m at its source NI. Local messages (Src == Dst) bypass the
+// network: they are delivered after LocalDelay and not counted. The return
+// value is the time the message will be delivered.
+func (n *Network) Send(m Message) event.Time {
+	if m.Src < 0 || m.Src >= len(n.nis) || m.Dst < 0 || m.Dst >= len(n.nis) {
+		panic(fmt.Sprintf("netsim: bad endpoints in %v", m))
+	}
+	h := n.handlers[m.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("netsim: no handler at node %d for %v", m.Dst, m))
+	}
+	now := n.q.Now()
+	var arrive event.Time
+	if m.Src == m.Dst {
+		arrive = now + LocalDelay
+	} else {
+		_, injected := n.nis[m.Src].Admit(now, InjectionTime(m.Kind))
+		arrive = injected + n.latency
+		n.counts.ByKind[m.Kind]++
+	}
+	n.inflight++
+	n.q.At(arrive, func() {
+		n.inflight--
+		h(m)
+	})
+	return arrive
+}
+
+// NIBusy returns cumulative injection occupancy of a node's NI, for
+// utilization reporting.
+func (n *Network) NIBusy(node int) event.Time { return n.nis[node].Busy() }
+
+// NIFree returns the earliest time node's NI can begin a new injection. The
+// self-invalidation machinery uses it to model the processor stalling until
+// its notification messages have all been injected.
+func (n *Network) NIFree(node int) event.Time { return n.nis[node].FreeAt() }

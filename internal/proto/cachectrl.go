@@ -1,0 +1,603 @@
+package proto
+
+import (
+	"dsisim/internal/cache"
+	"dsisim/internal/core"
+	"dsisim/internal/event"
+	"dsisim/internal/mem"
+	"dsisim/internal/netsim"
+)
+
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opSwap
+)
+
+// mshr is one outstanding miss. Under SC there is at most one per
+// processor; under WC there can be one read plus up to WriteBufferEntries
+// write misses.
+type mshr struct {
+	kind  opKind
+	addr  mem.Addr // full faulting address (selects the word within the block)
+	st    Store    // store to perform on grant (write/swap)
+	cont  func(Result)
+	start event.Time
+
+	// WC swap: the grant arrived with Pending set; completion waits for the
+	// FinalAck.
+	waitingFinal bool
+	res          Result
+}
+
+// wbEntry is one coalescing write buffer slot: a whole cache block's worth
+// of buffered words with a per-word valid mask, as the paper describes
+// ("each entry in the write buffer contains an entire cache block").
+type wbEntry struct {
+	addr         mem.Addr
+	words        [mem.WordsPerBlock]uint64
+	mask         [mem.WordsPerBlock]bool
+	writer       int
+	seq          uint64
+	dataArrived  bool
+	pendingFinal bool
+	// readWaiters are reads stalled until the block's data arrives.
+	readWaiters []func(Result)
+	// blockedStores were issued after the block's data arrived but left the
+	// cache again; they re-execute when the entry retires.
+	blockedStores []pendingStore
+}
+
+// coalesce folds a store into the entry.
+func (e *wbEntry) coalesce(a mem.Addr, st Store) {
+	e.words[mem.WordIndex(a)] = st.Word
+	e.mask[mem.WordIndex(a)] = true
+	e.writer = st.Writer
+	e.seq = st.Seq
+}
+
+// apply merges the buffered words onto arrived block contents.
+func (e *wbEntry) apply(v mem.Value) mem.Value {
+	v.Writer = e.writer
+	v.Seq = e.seq
+	for i, ok := range e.mask {
+		if ok {
+			v.Words[i] = e.words[i]
+		}
+	}
+	return v
+}
+
+type pendingStore struct {
+	addr  mem.Addr
+	st    Store
+	start event.Time
+	cont  func(Result)
+}
+
+// CacheStats counts cache-controller events.
+type CacheStats struct {
+	ReadMisses      int64
+	WriteMisses     int64
+	Upgrades        int64
+	SwapMisses      int64
+	SIReceived      int64 // marked blocks installed
+	CacheSideMarked int64 // blocks marked by the local invalidation-history table
+	TearOffRecv     int64
+	SyncFlushes     int64
+	SINotifies      int64 // SInvNotify/SInvWB messages sent
+	InvsReceived    int64
+	RecallsRecv     int64
+	WBFullStalls    int64
+	ReadWBStalls    int64
+}
+
+// CacheCtrl is the cache controller of one node: it services the
+// processor's loads/stores/swaps, reacts to directory coherence actions,
+// and performs self-invalidation per the configured DSI mechanism.
+type CacheCtrl struct {
+	env    *Env
+	node   int
+	cfg    Config
+	c      *cache.Cache
+	mech   core.Mechanism
+	hist   *core.InvalHistory // cache-side identification, may be nil
+	server event.Server
+
+	// scTear is the block address of the (single) sequentially consistent
+	// tear-off copy, 0 when none (§3.3: invalidated at the next miss).
+	scTear mem.Addr
+
+	mshrs map[mem.Addr]*mshr
+
+	// Weak consistency write buffer.
+	entries map[mem.Addr]*wbEntry
+	stalled []pendingStore
+	drain   []func()
+
+	stats CacheStats
+}
+
+// NewCacheCtrl builds the cache controller for node with geometry geo.
+func NewCacheCtrl(env *Env, node int, cfg Config, geo cache.Config) *CacheCtrl {
+	cc := &CacheCtrl{
+		env:   env,
+		node:  node,
+		cfg:   cfg,
+		c:     cache.New(geo),
+		mech:  cfg.Policy.Mechanism(),
+		mshrs: make(map[mem.Addr]*mshr),
+	}
+	if cfg.Policy.NewHistory != nil {
+		cc.hist = cfg.Policy.NewHistory()
+	}
+	if cfg.Consistency == WC {
+		if cfg.WriteBufferEntries <= 0 {
+			panic("proto: WC requires a write buffer")
+		}
+		cc.entries = make(map[mem.Addr]*wbEntry)
+	}
+	return cc
+}
+
+// Cache exposes the cache array for checkers.
+func (cc *CacheCtrl) Cache() *cache.Cache { return cc.c }
+
+// Mechanism exposes the per-node DSI mechanism (e.g. to read FIFO
+// displacement counts).
+func (cc *CacheCtrl) Mechanism() core.Mechanism { return cc.mech }
+
+// Stats returns a snapshot of the counters.
+func (cc *CacheCtrl) Stats() CacheStats { return cc.stats }
+
+// Outstanding reports in-flight misses plus unretired write-buffer entries,
+// for quiesce detection.
+func (cc *CacheCtrl) Outstanding() int { return len(cc.mshrs) + len(cc.entries) + len(cc.stalled) }
+
+// WBEmpty reports whether the write buffer has fully drained.
+func (cc *CacheCtrl) WBEmpty() bool { return len(cc.entries) == 0 && len(cc.stalled) == 0 }
+
+func (cc *CacheCtrl) send(m netsim.Message) {
+	m.Src = cc.node
+	cc.env.Net.Send(m)
+}
+
+func (cc *CacheCtrl) home(a mem.Addr) int { return cc.env.Layout.Home(a) }
+
+// --- processor-facing operations -------------------------------------------
+
+// Read performs a load. cont may run synchronously on a hit.
+func (cc *CacheCtrl) Read(a mem.Addr, cont func(Result)) {
+	now := cc.env.Q.Now()
+	if f, hit := cc.c.Lookup(a); hit {
+		cont(Result{Done: now, Hit: true, Value: f.Data})
+		return
+	}
+	b := mem.BlockOf(a)
+	if e := cc.entries[b]; e != nil {
+		if !e.dataArrived {
+			// Stalled behind an outstanding write miss ("read wb" time).
+			cc.stats.ReadWBStalls++
+			e.readWaiters = append(e.readWaiters, cont)
+			return
+		}
+		// Data arrived but the block has since left the cache; fall through
+		// to a fresh read miss (the earlier writeback is FIFO-ordered ahead
+		// of the new request).
+	}
+	cc.stats.ReadMisses++
+	cc.issueMiss(b, &mshr{kind: opRead, cont: cont, start: now})
+}
+
+// Write performs a store. Under SC the processor stalls until completion;
+// under WC the store is buffered and cont runs when the write buffer
+// accepts it.
+func (cc *CacheCtrl) Write(a mem.Addr, st Store, cont func(Result)) {
+	now := cc.env.Q.Now()
+	if f, hit := cc.c.Lookup(a); hit && f.State == cache.Exclusive {
+		f.Data = st.Merge(f.Data, a)
+		cont(Result{Done: now, Hit: true})
+		return
+	}
+	if cc.cfg.Consistency == WC {
+		cc.bufferStore(pendingStore{addr: a, st: st, start: now, cont: cont})
+		return
+	}
+	cc.stats.WriteMisses++
+	cc.issueMiss(mem.BlockOf(a), &mshr{kind: opWrite, addr: a, st: st, cont: cont, start: now})
+}
+
+// Swap atomically exchanges the word at a, returning the previous word. The
+// caller must drain the write buffer first under WC.
+func (cc *CacheCtrl) Swap(a mem.Addr, newWord uint64, st Store, cont func(Result)) {
+	now := cc.env.Q.Now()
+	st.Word = newWord
+	if f, hit := cc.c.Lookup(a); hit && f.State == cache.Exclusive {
+		old := f.Data.WordAt(a)
+		prev := f.Data
+		f.Data = st.Merge(f.Data, a)
+		cont(Result{Done: now, Hit: true, OldWord: old, Value: prev})
+		return
+	}
+	cc.stats.SwapMisses++
+	cc.issueMiss(mem.BlockOf(a), &mshr{kind: opSwap, addr: a, st: st, cont: cont, start: now})
+}
+
+// SyncFlush performs the DSI self-invalidation due at a synchronization
+// point: tear-off blocks flash-clear in one cycle; tracked marked blocks
+// are invalidated and their notifications injected back-to-back. cont runs
+// once the processor may proceed (all notifications injected).
+func (cc *CacheCtrl) SyncFlush(cont func(Result)) {
+	now := cc.env.Q.Now()
+	cc.stats.SyncFlushes++
+	evs := cc.mech.OnSync(cc.c)
+	resume := now + event.Time(cc.mech.ScanLatency(cc.c, len(evs)))
+	for _, ev := range evs {
+		if ev.TearOff {
+			if r := now + TearOffFlash; r > resume {
+				resume = r
+			}
+			continue
+		}
+
+		cc.notifySelfInval(ev)
+	}
+	if free := cc.env.Net.NIFree(cc.node); free > resume {
+		resume = free
+	}
+	cc.env.Q.At(resume, func() { cont(Result{Done: resume}) })
+}
+
+// DrainWB calls cont once every buffered write has been acknowledged (a
+// no-op under SC).
+func (cc *CacheCtrl) DrainWB(cont func()) {
+	if cc.cfg.Consistency != WC || cc.WBEmpty() {
+		cont()
+		return
+	}
+	cc.drain = append(cc.drain, cont)
+}
+
+// --- miss machinery ---------------------------------------------------------
+
+func (cc *CacheCtrl) issueMiss(b mem.Addr, ms *mshr) {
+	// Sequentially consistent tear-off copies die at the next cache miss
+	// (Scheurich's condition): until this processor misses, it cannot
+	// observe new values, so its reads order legally before the conflicting
+	// write.
+	if cc.scTear != 0 {
+		cc.c.Invalidate(cc.scTear) // untracked: silent
+		cc.scTear = 0
+	}
+	if _, dup := cc.mshrs[b]; dup {
+		cc.env.fail("cache %d: duplicate miss for %#x", cc.node, uint64(b))
+		return
+	}
+	if cc.cfg.Consistency == SC && len(cc.mshrs) != 0 {
+		cc.env.fail("cache %d: multiple outstanding misses under SC", cc.node)
+	}
+	cc.mshrs[b] = ms
+	kind := netsim.GetS
+	var ver uint8
+	var hasVer bool
+	if ms.kind == opRead {
+		ver, hasVer = cc.c.EchoVersion(b)
+	} else {
+		kind = netsim.GetX
+		if f, ok := cc.c.Peek(b); ok && f.State == cache.Shared {
+			kind = netsim.Upgrade
+			ver, hasVer = f.Ver, f.HasVer
+			cc.stats.Upgrades++
+		} else {
+			ver, hasVer = cc.c.EchoVersion(b)
+		}
+	}
+	_, done := cc.server.Admit(cc.env.Q.Now(), CacheOccupancy)
+	cc.env.Q.At(done, func() {
+		cc.send(netsim.Message{Kind: kind, Dst: cc.home(b), Addr: b, Ver: ver, HasVer: hasVer})
+	})
+}
+
+// install places an arriving block, emitting any displacement writeback.
+func (cc *CacheCtrl) install(b mem.Addr, st cache.State, m netsim.Message) {
+	fill := cache.Fill{State: st, SI: m.SI, TearOff: m.TearOff, Ver: m.Ver, HasVer: m.HasVer, Data: m.Data}
+	if ev, evicted := cc.c.Install(b, fill); evicted {
+		cc.evictionMessage(ev)
+	}
+	if m.SI {
+		cc.stats.SIReceived++
+		if m.TearOff {
+			cc.stats.TearOffRecv++
+		}
+	}
+	if m.TearOff && cc.cfg.Policy.SCTearOff {
+		// At most one tear-off copy per cache under SC: displace the old
+		// one (silently — it was never tracked).
+		if cc.scTear != 0 && cc.scTear != b {
+			cc.c.Invalidate(cc.scTear)
+		}
+		cc.scTear = b
+	}
+}
+
+// postInstall applies cache-side identification and runs the DSI
+// mechanism's install hook. It must run after the pending store/swap has
+// been applied: a full FIFO may displace — and self-invalidate — the block
+// that just arrived.
+func (cc *CacheCtrl) postInstall(b mem.Addr, m netsim.Message) {
+	marked := m.SI
+	// Cache-side identification (§3.1): mark locally if this block's
+	// invalidation history crosses the threshold. The home-node exemption
+	// applies here just as it does at the directory.
+	if cc.hist != nil && !marked && cc.home(b) != cc.node {
+		if cc.hist.MarkLocal(cc.c, b) {
+			cc.stats.CacheSideMarked++
+			marked = true
+		}
+	}
+	if !marked {
+		return
+	}
+	for _, ev := range cc.mech.OnInstall(cc.c, b) {
+		if !ev.TearOff {
+			cc.notifySelfInval(ev)
+		}
+	}
+}
+
+// evictionMessage tells the home a displaced copy is gone: WB with data for
+// Exclusive, a Repl hint for tracked Shared, silence for tear-off copies.
+func (cc *CacheCtrl) evictionMessage(ev cache.Evicted) {
+	if ev.TearOff {
+		return
+	}
+	home := cc.home(ev.Addr)
+	if ev.State == cache.Exclusive {
+		cc.send(netsim.Message{Kind: netsim.WB, Dst: home, Addr: ev.Addr, Data: ev.Data, SI: ev.SI})
+		return
+	}
+	cc.send(netsim.Message{Kind: netsim.Repl, Dst: home, Addr: ev.Addr, SI: ev.SI})
+}
+
+// notifySelfInval tells the home a tracked block self-invalidated.
+func (cc *CacheCtrl) notifySelfInval(ev cache.Evicted) {
+	home := cc.home(ev.Addr)
+	cc.stats.SINotifies++
+	if ev.State == cache.Exclusive {
+		cc.send(netsim.Message{Kind: netsim.SInvWB, Dst: home, Addr: ev.Addr, Data: ev.Data, SI: true})
+		return
+	}
+	cc.send(netsim.Message{Kind: netsim.SInvNotify, Dst: home, Addr: ev.Addr, SI: true})
+}
+
+// --- write buffer (weak consistency) ----------------------------------------
+
+func (cc *CacheCtrl) bufferStore(ps pendingStore) {
+	b := mem.BlockOf(ps.addr)
+	now := cc.env.Q.Now()
+	if e := cc.entries[b]; e != nil {
+		if !e.dataArrived {
+			// Coalesce into the outstanding entry.
+			e.coalesce(ps.addr, ps.st)
+			ps.cont(Result{Done: now, Hit: true, WBFullWait: now - ps.start})
+			return
+		}
+		// Data arrived but the block left the cache (otherwise the store
+		// would have hit Exclusive); re-execute after the entry retires.
+		e.blockedStores = append(e.blockedStores, ps)
+		return
+	}
+	if len(cc.entries) >= cc.cfg.WriteBufferEntries {
+		cc.stats.WBFullStalls++
+		cc.stalled = append(cc.stalled, ps)
+		return
+	}
+	cc.allocateEntry(b, ps)
+}
+
+func (cc *CacheCtrl) allocateEntry(b mem.Addr, ps pendingStore) {
+	now := cc.env.Q.Now()
+	e := &wbEntry{addr: b}
+	e.coalesce(ps.addr, ps.st)
+	cc.entries[b] = e
+	cc.stats.WriteMisses++
+	cc.issueMiss(b, &mshr{kind: opWrite, addr: ps.addr, st: ps.st, start: ps.start})
+	ps.cont(Result{Done: now, WBFullWait: now - ps.start})
+}
+
+// retire frees a write-buffer slot and wakes anything waiting on it.
+func (cc *CacheCtrl) retire(e *wbEntry) {
+	delete(cc.entries, e.addr)
+	blocked := e.blockedStores
+	e.blockedStores = nil
+	for _, ps := range blocked {
+		cc.bufferStore(ps)
+	}
+	for len(cc.stalled) > 0 && len(cc.entries) < cc.cfg.WriteBufferEntries {
+		ps := cc.stalled[0]
+		cc.stalled = cc.stalled[1:]
+		cc.bufferStore(ps)
+	}
+	if cc.WBEmpty() {
+		waiters := cc.drain
+		cc.drain = nil
+		for _, w := range waiters {
+			w()
+		}
+	}
+}
+
+// --- network-facing handlers -------------------------------------------------
+
+// Handle dispatches one incoming coherence message bound for the cache.
+func (cc *CacheCtrl) Handle(m netsim.Message) {
+	switch m.Kind {
+	case netsim.Inv:
+		cc.onInv(m)
+	case netsim.Recall:
+		cc.onRecall(m)
+	case netsim.DataS:
+		cc.onDataS(m)
+	case netsim.DataX:
+		cc.onDataX(m)
+	case netsim.AckX:
+		cc.onAckX(m)
+	case netsim.FinalAck:
+		cc.onFinalAck(m)
+	default:
+		cc.env.fail("cache %d: unexpected message %v", cc.node, m)
+	}
+}
+
+func (cc *CacheCtrl) onInv(m netsim.Message) {
+	cc.stats.InvsReceived++
+	b := mem.BlockOf(m.Addr)
+	if cc.hist != nil {
+		cc.hist.OnInvalidate(b)
+	}
+	ev, had := cc.c.Invalidate(b)
+	// Acknowledge unconditionally: if the copy is gone, our replacement
+	// notice is already FIFO-ordered ahead of this ack.
+	if had && ev.State == cache.Exclusive {
+		cc.send(netsim.Message{Kind: netsim.InvAckData, Dst: m.Src, Addr: b, Data: ev.Data})
+		return
+	}
+	cc.send(netsim.Message{Kind: netsim.InvAck, Dst: m.Src, Addr: b})
+}
+
+func (cc *CacheCtrl) onRecall(m netsim.Message) {
+	cc.stats.RecallsRecv++
+	b := mem.BlockOf(m.Addr)
+	if data, ok := cc.c.Downgrade(b); ok {
+		cc.send(netsim.Message{Kind: netsim.RecallAck, Dst: m.Src, Addr: b, Data: data})
+		return
+	}
+	// Copy already written back or self-invalidated; the data is on its way
+	// to the home ahead of this ack.
+	cc.send(netsim.Message{Kind: netsim.InvAck, Dst: m.Src, Addr: b})
+}
+
+func (cc *CacheCtrl) onDataS(m netsim.Message) {
+	b := mem.BlockOf(m.Addr)
+	ms := cc.mshrs[b]
+	if ms == nil || ms.kind != opRead {
+		cc.env.fail("cache %d: unexpected DataS for %#x", cc.node, uint64(b))
+		return
+	}
+	delete(cc.mshrs, b)
+	cc.install(b, cache.Shared, m)
+	ms.cont(Result{Done: cc.env.Q.Now(), InvWait: m.InvWait, Value: m.Data})
+	cc.postInstall(b, m)
+}
+
+func (cc *CacheCtrl) onDataX(m netsim.Message) {
+	b := mem.BlockOf(m.Addr)
+	ms := cc.mshrs[b]
+	if ms == nil {
+		cc.env.fail("cache %d: unexpected DataX for %#x", cc.node, uint64(b))
+		return
+	}
+	delete(cc.mshrs, b)
+	cc.install(b, cache.Exclusive, m)
+	if ms.kind == opRead {
+		// A migratory exclusive grant answering a read: the block arrives
+		// writable in anticipation of the upgrade this processor would
+		// otherwise issue.
+		ms.cont(Result{Done: cc.env.Q.Now(), InvWait: m.InvWait, Value: m.Data})
+	} else {
+		cc.applyGrant(b, ms, m)
+	}
+	cc.postInstall(b, m)
+}
+
+func (cc *CacheCtrl) onAckX(m netsim.Message) {
+	b := mem.BlockOf(m.Addr)
+	ms := cc.mshrs[b]
+	if ms == nil || ms.kind == opRead {
+		cc.env.fail("cache %d: unexpected AckX for %#x", cc.node, uint64(b))
+		return
+	}
+	delete(cc.mshrs, b)
+	// The AckX carries the block's committed contents as simulator
+	// bookkeeping (a tracked shared copy always equals home memory, so no
+	// data moves on the simulated wire): even if the shared copy was
+	// displaced while the upgrade was in flight — possible under WC, where
+	// fills for other blocks arrive while stores are buffered — the install
+	// below reconstructs it exactly.
+	cc.install(b, cache.Exclusive, m)
+	cc.applyGrant(b, ms, m)
+	cc.postInstall(b, m)
+}
+
+// applyGrant performs the buffered store or swap once exclusive ownership
+// arrives, and completes the processor operation (or parks it awaiting the
+// weak-consistency FinalAck).
+func (cc *CacheCtrl) applyGrant(b mem.Addr, ms *mshr, m netsim.Message) {
+	now := cc.env.Q.Now()
+	f, ok := cc.c.Peek(b)
+	if !ok {
+		cc.env.fail("cache %d: granted block %#x not present", cc.node, uint64(b))
+		return
+	}
+	switch ms.kind {
+	case opWrite:
+		if cc.cfg.Consistency == WC {
+			e := cc.entries[b]
+			if e == nil {
+				cc.env.fail("cache %d: WC write grant without wb entry for %#x", cc.node, uint64(b))
+				return
+			}
+			f.Data = e.apply(f.Data)
+			e.dataArrived = true
+			waiters := e.readWaiters
+			e.readWaiters = nil
+			for _, w := range waiters {
+				w(Result{Done: now, WBRead: true, Value: f.Data})
+			}
+			if m.Pending {
+				e.pendingFinal = true
+			} else {
+				cc.retire(e)
+			}
+			return
+		}
+		f.Data = ms.st.Merge(f.Data, ms.addr)
+		ms.cont(Result{Done: now, InvWait: m.InvWait})
+	case opSwap:
+		old := f.Data.WordAt(ms.addr)
+		prev := f.Data
+		f.Data = ms.st.Merge(f.Data, ms.addr)
+		res := Result{Done: now, InvWait: m.InvWait, OldWord: old, Value: prev}
+		if m.Pending {
+			// WC: the swap is a synchronization access; hold completion
+			// until the directory's FinalAck.
+			ms.waitingFinal = true
+			ms.res = res
+			cc.mshrs[b] = ms
+			return
+		}
+		ms.cont(res)
+	}
+}
+
+func (cc *CacheCtrl) onFinalAck(m netsim.Message) {
+	b := mem.BlockOf(m.Addr)
+	if e := cc.entries[b]; e != nil {
+		if !e.pendingFinal {
+			cc.env.fail("cache %d: FinalAck for unpending entry %#x", cc.node, uint64(b))
+			return
+		}
+		cc.retire(e)
+		return
+	}
+	if ms := cc.mshrs[b]; ms != nil && ms.waitingFinal {
+		delete(cc.mshrs, b)
+		res := ms.res
+		res.Done = cc.env.Q.Now()
+		ms.cont(res)
+		return
+	}
+	cc.env.fail("cache %d: stray FinalAck for %#x", cc.node, uint64(b))
+}

@@ -1,0 +1,545 @@
+package proto
+
+import (
+	"dsisim/internal/core"
+	"dsisim/internal/directory"
+	"dsisim/internal/event"
+	"dsisim/internal/mem"
+	"dsisim/internal/netsim"
+)
+
+// txn is one in-progress directory transaction for a block: a request that
+// required invalidating or recalling outstanding copies before (SC) or
+// after (WC) replying. While a txn is live the block is busy and later
+// requests queue behind it.
+type txn struct {
+	req     netsim.Message
+	isRead  bool
+	upgrade bool // reply with AckX (requester keeps its data)
+
+	si      bool
+	tearOff bool
+	ver     uint8
+	hasVer  bool
+
+	needAcks int
+	ownerWas int // node whose exclusive copy is being recalled/invalidated, -1 if none
+	prev     directory.State
+
+	// ownerRetains: the recalled owner answered with a RecallAck, so it
+	// still holds a downgraded shared copy. If its writeback raced the
+	// recall instead, the owner has nothing left and must not be re-added
+	// to the sharer set.
+	ownerRetains bool
+
+	// procDone is when directory processing finished and invalidations
+	// went out; the reply's InvWait measures from here.
+	procDone event.Time
+
+	// wcPending: the data reply already went out (weak consistency); on
+	// completion send FinalAck instead.
+	wcPending bool
+
+	// requesterDropped: the requester wrote back / replaced the block
+	// before the transaction completed (possible under WC, where the data
+	// is granted before the acks arrive).
+	requesterDropped bool
+
+	// migratoryRead: a read request served with an exclusive grant because
+	// the block is in migratory mode; completion checks whether the
+	// prediction held (the invalidated owner had actually written).
+	migratoryRead bool
+}
+
+// DirStats counts directory-level events.
+type DirStats struct {
+	Requests      int64 // GetS+GetX+Upgrade processed
+	Invalidates   int64 // Inv messages sent
+	Recalls       int64 // Recall messages sent
+	SIGrantsRead  int64 // shared grants marked for self-invalidation
+	SIGrantsWrite int64
+	TearOffGrants int64
+	// MigratoryGrants counts read requests answered with exclusive grants
+	// by the migratory-sharing optimization.
+	MigratoryGrants int64
+	// PointerOverflows counts sharers evicted to free a directory pointer
+	// (limited-pointer directories only).
+	PointerOverflows int64
+	Queued           int64 // requests that waited behind a busy block
+}
+
+// DirCtrl is the directory controller of one home node.
+type DirCtrl struct {
+	env    *Env
+	node   int
+	cfg    Config
+	dir    *directory.Dir
+	memory mem.Memory
+	server event.Server
+
+	busy  map[mem.Addr]*txn
+	queue map[mem.Addr][]netsim.Message
+
+	stats DirStats
+}
+
+// NewDirCtrl builds the directory controller for home node.
+func NewDirCtrl(env *Env, node int, cfg Config) *DirCtrl {
+	if cfg.SharerLimit == 1 {
+		panic("proto: SharerLimit must be 0 (full map) or >= 2")
+	}
+	return &DirCtrl{
+		env:   env,
+		node:  node,
+		cfg:   cfg,
+		dir:   directory.New(node),
+		busy:  make(map[mem.Addr]*txn),
+		queue: make(map[mem.Addr][]netsim.Message),
+	}
+}
+
+// Dir exposes the directory state for checkers.
+func (dc *DirCtrl) Dir() *directory.Dir { return dc.dir }
+
+// Memory exposes the home memory image for checkers.
+func (dc *DirCtrl) Memory() *mem.Memory { return &dc.memory }
+
+// Stats returns a snapshot of the counters.
+func (dc *DirCtrl) Stats() DirStats { return dc.stats }
+
+// BusyBlocks returns the number of blocks with live transactions, for
+// quiesce detection.
+func (dc *DirCtrl) BusyBlocks() int { return len(dc.busy) }
+
+func (dc *DirCtrl) send(m netsim.Message) {
+	m.Src = dc.node
+	dc.env.Net.Send(m)
+}
+
+// Handle dispatches one incoming message. It is the node's network handler
+// for directory-bound kinds.
+func (dc *DirCtrl) Handle(m netsim.Message) {
+	switch m.Kind {
+	case netsim.GetS, netsim.GetX, netsim.Upgrade:
+		dc.admit(m)
+	case netsim.InvAck:
+		dc.onAck(m, false, false)
+	case netsim.InvAckData:
+		dc.onAck(m, true, false)
+	case netsim.RecallAck:
+		dc.onAck(m, true, true)
+	case netsim.WB:
+		dc.onWriteback(m, core.CauseReplace)
+	case netsim.SInvWB:
+		dc.onWriteback(m, core.CauseSelfInv)
+	case netsim.Repl:
+		dc.onSharedDrop(m, core.CauseReplace)
+	case netsim.SInvNotify:
+		dc.onSharedDrop(m, core.CauseSelfInv)
+	default:
+		dc.env.fail("dir %d: unexpected message %v", dc.node, m)
+	}
+}
+
+// admit runs a request through the 10-cycle directory occupancy, then
+// processes it (or queues it behind a busy block).
+func (dc *DirCtrl) admit(m netsim.Message) {
+	_, done := dc.server.Admit(dc.env.Q.Now(), DirOccupancy)
+	dc.env.Q.At(done, func() { dc.process(m) })
+}
+
+func (dc *DirCtrl) process(m netsim.Message) {
+	b := mem.BlockOf(m.Addr)
+	if dc.busy[b] != nil {
+		dc.stats.Queued++
+		dc.queue[b] = append(dc.queue[b], m)
+		return
+	}
+	dc.stats.Requests++
+	switch m.Kind {
+	case netsim.GetS:
+		dc.processRead(m)
+	case netsim.GetX, netsim.Upgrade:
+		dc.processWrite(m)
+	}
+	// Requests served immediately (no transaction) must still release any
+	// requests that queued behind the block while it was busy.
+	if dc.busy[b] == nil {
+		dc.dequeue(b)
+	}
+}
+
+func (dc *DirCtrl) processRead(m netsim.Message) {
+	b := mem.BlockOf(m.Addr)
+	e := dc.dir.Entry(b)
+	pol := dc.cfg.Policy
+	if pol.Migratory && e.Migratory && !e.State.IsShared() {
+		dc.processMigratoryRead(m, e)
+		return
+	}
+	if pol.Migratory {
+		e.ReadersSinceWrite++
+		if e.ReadersSinceWrite >= 2 {
+			// Two readers between writes: not migratory after all.
+			e.Migratory = false
+		}
+	}
+	r := core.Request{Node: m.Src, Home: dc.node, Ver: m.Ver, HasVer: m.HasVer}
+	si := pol.MarkRead(e, r)
+	tearOff := si && (pol.TearOff || pol.SCTearOff)
+	ver, hasVer := pol.ID().GrantVersion(e)
+	if si {
+		dc.stats.SIGrantsRead++
+	}
+	if tearOff {
+		dc.stats.TearOffGrants++
+		e.NoteTearOffGrant()
+	}
+
+	if e.State == directory.Exclusive {
+		// Recall the owner's copy; reply once the data returns.
+		t := &txn{
+			req: m, isRead: true,
+			si: si, tearOff: tearOff, ver: ver, hasVer: hasVer,
+			needAcks: 1, ownerWas: e.Owner, prev: e.State,
+			procDone: dc.env.Q.Now(),
+		}
+		dc.busy[b] = t
+		dc.stats.Recalls++
+		dc.send(netsim.Message{Kind: netsim.Recall, Dst: e.Owner, Addr: b})
+		return
+	}
+
+	// Data is at home: reply immediately — unless a limited-pointer
+	// directory must first evict a sharer to free a pointer. The eviction
+	// is a full transaction (grant only after the ack): handing out the
+	// copy while the victim still holds a valid untracked one would let a
+	// subsequent write miss it, breaking coherence.
+	if e.State.IsShared() || e.State.IsIdle() {
+		if !tearOff {
+			if e.Sharers.Has(m.Src) {
+				dc.env.fail("dir %d: GetS from existing sharer %d for %#x (state %v)", dc.node, m.Src, uint64(b), e.State)
+			}
+			if limit := dc.cfg.SharerLimit; limit > 0 && e.Sharers.Count() >= limit {
+				victim := -1
+				e.Sharers.ForEach(func(n int) {
+					if victim < 0 && n != m.Src {
+						victim = n
+					}
+				})
+				e.Sharers = e.Sharers.Remove(victim)
+				dc.stats.PointerOverflows++
+				dc.stats.Invalidates++
+				t := &txn{
+					req: m, isRead: true,
+					si: si, tearOff: false, ver: ver, hasVer: hasVer,
+					needAcks: 1, ownerWas: -1, prev: e.State,
+					procDone: dc.env.Q.Now(),
+				}
+				dc.busy[b] = t
+				dc.send(netsim.Message{Kind: netsim.Inv, Dst: victim, Addr: b})
+				return
+			}
+			e.Sharers = e.Sharers.Add(m.Src)
+			pol.ID().SetShared(e, si)
+		}
+		dc.send(netsim.Message{
+			Kind: netsim.DataS, Dst: m.Src, Addr: b,
+			Data: dc.memory.Read(b), SI: si, TearOff: tearOff, Ver: ver, HasVer: hasVer,
+		})
+		return
+	}
+	dc.env.fail("dir %d: GetS in state %v", dc.node, e.State)
+}
+
+// processMigratoryRead answers a read for a block in migratory mode with an
+// exclusive grant: the previous owner is invalidated (not downgraded) and
+// the reader becomes the owner, saving its anticipated upgrade. If the
+// returning data shows the previous owner never actually wrote, the block
+// is demoted out of migratory mode.
+func (dc *DirCtrl) processMigratoryRead(m netsim.Message, e *directory.Entry) {
+	b := mem.BlockOf(m.Addr)
+	pol := dc.cfg.Policy
+	dc.stats.MigratoryGrants++
+	r := core.Request{Node: m.Src, Home: dc.node, Ver: m.Ver, HasVer: m.HasVer}
+	si := pol.MarkWrite(e, r)
+	ver, hasVer := pol.ID().GrantVersion(e)
+	e.ClearTearOff()
+	e.ReadersSinceWrite = 1 // this reader
+	if e.State == directory.Exclusive {
+		t := &txn{
+			req: m, si: si, ver: ver, hasVer: hasVer,
+			needAcks: 1, ownerWas: e.Owner, prev: e.State,
+			procDone:      dc.env.Q.Now(),
+			migratoryRead: true,
+		}
+		dc.busy[b] = t
+		dc.stats.Invalidates++
+		dc.send(netsim.Message{Kind: netsim.Inv, Dst: e.Owner, Addr: b})
+		return
+	}
+	// Idle flavors: grant immediately.
+	e.State = directory.Exclusive
+	e.Owner = m.Src
+	e.LastOwner = m.Src
+	dc.sendGrant(m.Src, b, false, si, ver, hasVer, 0, false)
+}
+
+func (dc *DirCtrl) processWrite(m netsim.Message) {
+	b := mem.BlockOf(m.Addr)
+	e := dc.dir.Entry(b)
+	pol := dc.cfg.Policy
+	wasSharer := e.State.IsShared() && e.Sharers.Has(m.Src)
+	others := e.Sharers.Remove(m.Src)
+	if pol.Migratory {
+		switch {
+		case e.State == directory.Exclusive && e.Owner != m.Src && e.ReadersSinceWrite <= 1:
+			// Write-after-write by a different processor with at most one
+			// intervening reader: the migratory pattern.
+			e.Migratory = true
+		case wasSharer && e.LastOwner >= 0 && e.LastOwner != m.Src &&
+			e.ReadersSinceWrite == 1 &&
+			(others.Empty() || others.Only(e.LastOwner)):
+			// Read-then-write by the single reader since another
+			// processor's write (the previous writer may still hold its
+			// downgraded copy): the same pattern seen from its read side.
+			e.Migratory = true
+		case !others.Empty():
+			e.Migratory = false
+		}
+		e.ReadersSinceWrite = 0
+	}
+	r := core.Request{
+		Node: m.Src, Home: dc.node, Ver: m.Ver, HasVer: m.HasVer,
+		WasSharer: wasSharer, OtherSharers: !others.Empty(),
+	}
+	si := pol.MarkWrite(e, r)
+	ver, hasVer := pol.ID().GrantVersion(e)
+	if si {
+		dc.stats.SIGrantsWrite++
+	}
+	e.ClearTearOff()
+	upgrade := m.Kind == netsim.Upgrade && wasSharer
+
+	switch {
+	case e.State == directory.Exclusive:
+		if e.Owner == m.Src {
+			dc.env.fail("dir %d: GetX from current owner %d for %#x", dc.node, m.Src, uint64(b))
+		}
+		t := &txn{
+			req: m, si: si, ver: ver, hasVer: hasVer,
+			needAcks: 1, ownerWas: e.Owner, prev: e.State,
+			procDone: dc.env.Q.Now(),
+		}
+		dc.busy[b] = t
+		dc.stats.Invalidates++
+		dc.send(netsim.Message{Kind: netsim.Inv, Dst: e.Owner, Addr: b})
+
+	case e.State.IsShared() && !others.Empty():
+		t := &txn{
+			req: m, upgrade: upgrade, si: si, ver: ver, hasVer: hasVer,
+			needAcks: others.Count(), ownerWas: -1, prev: e.State,
+			procDone: dc.env.Q.Now(),
+		}
+		dc.busy[b] = t
+		e.Sharers = 0
+		others.ForEach(func(n int) {
+			dc.stats.Invalidates++
+			dc.send(netsim.Message{Kind: netsim.Inv, Dst: n, Addr: b})
+		})
+		if dc.cfg.Consistency == WC {
+			// Grant in parallel with invalidation; FinalAck follows.
+			t.wcPending = true
+			e.State = directory.Exclusive
+			e.Owner = m.Src
+			e.LastOwner = m.Src
+			dc.reply(t, true)
+		}
+
+	default:
+		// Idle flavors, or the requester is the lone sharer: grant now.
+		e.Sharers = 0
+		e.State = directory.Exclusive
+		e.Owner = m.Src
+		e.LastOwner = m.Src
+		dc.sendGrant(m.Src, b, upgrade, si, ver, hasVer, 0, false)
+	}
+}
+
+// sendGrant emits the exclusive grant (DataX, or AckX for an upgrade whose
+// copy is still valid at the requester).
+func (dc *DirCtrl) sendGrant(dst int, b mem.Addr, upgrade, si bool, ver uint8, hasVer bool, invWait event.Time, pending bool) {
+	kind := netsim.DataX
+	msg := netsim.Message{
+		Kind: kind, Dst: dst, Addr: b,
+		SI: si, Ver: ver, HasVer: hasVer, InvWait: invWait, Pending: pending,
+	}
+	msg.Data = dc.memory.Read(b)
+	if upgrade {
+		// AckX moves no data on the simulated wire (injection time stays 3
+		// cycles); the Data field is simulator bookkeeping so the upgraded
+		// copy can be reconstructed even if it was displaced in flight — a
+		// tracked shared copy always equals home memory.
+		msg.Kind = netsim.AckX
+	}
+	dc.send(msg)
+}
+
+// reply finishes a transaction's grant. For reads it sends DataS; for
+// writes it sends the exclusive grant (used both at completion under SC and
+// early under WC).
+func (dc *DirCtrl) reply(t *txn, early bool) {
+	b := mem.BlockOf(t.req.Addr)
+	var invWait event.Time
+	if !early {
+		invWait = dc.env.Q.Now() - t.procDone
+	}
+	if t.isRead {
+		e := dc.dir.Entry(b)
+		switch {
+		case !t.tearOff:
+			e.Sharers = e.Sharers.Add(t.req.Src)
+			dc.cfg.Policy.ID().SetShared(e, t.si)
+		case t.ownerWas >= 0 && e.Sharers.Empty():
+			// Tear-off grant whose recalled owner wrote back mid-recall:
+			// no tracked copies remain at all.
+			dc.cfg.Policy.ID().SetIdle(e, core.CauseReplace, directory.Exclusive, false)
+		case t.ownerWas >= 0:
+			// Tear-off grant served by recall: the owner keeps a tracked
+			// downgraded copy.
+			dc.cfg.Policy.ID().SetShared(e, t.si)
+		}
+		dc.send(netsim.Message{
+			Kind: netsim.DataS, Dst: t.req.Src, Addr: b,
+			Data: dc.memory.Read(b), SI: t.si, TearOff: t.tearOff,
+			Ver: t.ver, HasVer: t.hasVer, InvWait: invWait,
+		})
+		return
+	}
+	dc.sendGrant(t.req.Src, b, t.upgrade, t.si, t.ver, t.hasVer, invWait, early)
+}
+
+// complete finishes a transaction once all acknowledgments are in.
+func (dc *DirCtrl) complete(t *txn) {
+	b := mem.BlockOf(t.req.Addr)
+	e := dc.dir.Entry(b)
+	switch {
+	case t.isRead:
+		// The recalled owner keeps a downgraded shared copy — unless its
+		// writeback raced the recall, in which case it holds nothing.
+		if t.ownerWas >= 0 {
+			if t.ownerRetains {
+				e.Sharers = e.Sharers.Add(t.ownerWas)
+			}
+			e.LastOwner = t.ownerWas
+		}
+		dc.reply(t, false)
+	case t.wcPending:
+		if t.requesterDropped {
+			pol := dc.cfg.Policy
+			pol.ID().SetIdle(e, core.CauseReplace, directory.Exclusive, t.si)
+			e.Owner = -1
+		}
+		dc.send(netsim.Message{Kind: netsim.FinalAck, Dst: t.req.Src, Addr: b})
+	default:
+		e.State = directory.Exclusive
+		e.Owner = t.req.Src
+		e.LastOwner = t.req.Src
+		dc.reply(t, false)
+	}
+	delete(dc.busy, b)
+	dc.dequeue(b)
+}
+
+// dequeue re-admits the next queued request for block b, if any.
+func (dc *DirCtrl) dequeue(b mem.Addr) {
+	pending := dc.queue[b]
+	if len(pending) == 0 {
+		delete(dc.queue, b)
+		return
+	}
+	next := pending[0]
+	if len(pending) == 1 {
+		delete(dc.queue, b)
+	} else {
+		dc.queue[b] = pending[1:]
+	}
+	dc.admit(next)
+}
+
+// onAck consumes an invalidation/recall acknowledgment.
+func (dc *DirCtrl) onAck(m netsim.Message, hasData, downgraded bool) {
+	b := mem.BlockOf(m.Addr)
+	t := dc.busy[b]
+	if t == nil {
+		dc.env.fail("dir %d: stray ack %v", dc.node, m)
+		return
+	}
+	if hasData {
+		dc.memory.Write(b, m.Data)
+	}
+	if downgraded && m.Src == t.ownerWas {
+		t.ownerRetains = true
+	}
+	if t.migratoryRead && hasData && m.Data.Writer != t.ownerWas {
+		// The invalidated owner never wrote the block: the migratory
+		// prediction cost it a copy for nothing. Demote.
+		dc.dir.Entry(b).Migratory = false
+	}
+	t.needAcks--
+	if t.needAcks < 0 {
+		dc.env.fail("dir %d: surplus ack %v", dc.node, m)
+		return
+	}
+	if t.needAcks == 0 {
+		dc.complete(t)
+	}
+}
+
+// onWriteback handles WB/SInvWB: an exclusive copy coming home
+// unsolicited, either by replacement or by self-invalidation.
+func (dc *DirCtrl) onWriteback(m netsim.Message, cause core.IdleCause) {
+	b := mem.BlockOf(m.Addr)
+	dc.memory.Write(b, m.Data)
+	e := dc.dir.Entry(b)
+	if t := dc.busy[b]; t != nil {
+		switch m.Src {
+		case t.ownerWas:
+			// The owner's writeback raced our Recall/Inv; the data is
+			// captured here and the unconditional ack will complete the
+			// transaction.
+		case t.req.Src:
+			// WC: the requester already received the grant and has given
+			// the block up again before the FinalAck.
+			t.requesterDropped = true
+		default:
+			dc.env.fail("dir %d: writeback from bystander %d during txn for %#x", dc.node, m.Src, uint64(b))
+		}
+		return
+	}
+	if e.State != directory.Exclusive || e.Owner != m.Src {
+		dc.env.fail("dir %d: writeback from %d but state %v owner %d for %#x",
+			dc.node, m.Src, e.State, e.Owner, uint64(b))
+		return
+	}
+	e.LastOwner = m.Src
+	e.Owner = -1
+	dc.cfg.Policy.ID().SetIdle(e, cause, directory.Exclusive, m.SI)
+}
+
+// onSharedDrop handles Repl/SInvNotify: a tracked shared copy disappearing
+// by replacement or self-invalidation.
+func (dc *DirCtrl) onSharedDrop(m netsim.Message, cause core.IdleCause) {
+	b := mem.BlockOf(m.Addr)
+	e := dc.dir.Entry(b)
+	if !e.State.IsShared() || !e.Sharers.Has(m.Src) {
+		// Stale: the copy was already invalidated by a racing transaction
+		// (the node acked the Inv unconditionally). Nothing to do.
+		return
+	}
+	e.Sharers = e.Sharers.Remove(m.Src)
+	if e.Sharers.Empty() && dc.busy[b] == nil {
+		prev := e.State
+		dc.cfg.Policy.ID().SetIdle(e, cause, prev, m.SI)
+	}
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders grouped horizontal bars as text — the closest a terminal
+// gets to the paper's stacked-bar figures. Bars within a group share a
+// scale; segment runes encode the stacked categories.
+type BarChart struct {
+	Title string
+	// Width is the number of character cells representing Scale.
+	Width int
+	// Scale is the value one full width represents (e.g. 1.0 for
+	// normalized execution time).
+	Scale  float64
+	Groups []BarGroup
+	// Legend maps segment runes to names, rendered below the chart.
+	Legend []LegendEntry
+}
+
+// BarGroup is one cluster of bars (one benchmark).
+type BarGroup struct {
+	Label string
+	Bars  []Bar
+}
+
+// Bar is one bar with an optional stacked composition. Segment fractions
+// are relative to Value; any remainder is drawn with the last segment's
+// rune (or '#' when there are no segments).
+type Bar struct {
+	Label    string
+	Value    float64
+	Segments []Segment
+}
+
+// Segment is one stacked slice of a bar.
+type Segment struct {
+	Rune rune
+	Frac float64
+}
+
+// LegendEntry names one segment rune.
+type LegendEntry struct {
+	Rune rune
+	Name string
+}
+
+// Render draws the chart.
+func (c BarChart) Render() string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	scale := c.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	labelW := 0
+	for _, g := range c.Groups {
+		for _, b := range g.Bars {
+			if len(b.Label) > labelW {
+				labelW = len(b.Label)
+			}
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	for _, g := range c.Groups {
+		sb.WriteString(g.Label)
+		sb.WriteByte('\n')
+		for _, b := range g.Bars {
+			cells := int(b.Value/scale*float64(width) + 0.5)
+			fmt.Fprintf(&sb, "  %-*s |%s| %.2f\n", labelW, b.Label, renderBar(b, cells), b.Value)
+		}
+	}
+	for _, l := range c.Legend {
+		fmt.Fprintf(&sb, "  %c %s", l.Rune, l.Name)
+	}
+	if len(c.Legend) > 0 {
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func renderBar(b Bar, cells int) string {
+	if cells <= 0 {
+		return ""
+	}
+	out := make([]rune, 0, cells)
+	for _, seg := range b.Segments {
+		n := int(seg.Frac*float64(cells) + 0.5)
+		for i := 0; i < n && len(out) < cells; i++ {
+			out = append(out, seg.Rune)
+		}
+	}
+	fill := '#'
+	if n := len(b.Segments); n > 0 {
+		fill = b.Segments[n-1].Rune
+	}
+	for len(out) < cells {
+		out = append(out, fill)
+	}
+	return string(out)
+}

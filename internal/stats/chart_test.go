@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartRender(t *testing.T) {
+	c := BarChart{
+		Title: "demo",
+		Width: 10,
+		Scale: 1.0,
+		Groups: []BarGroup{{
+			Label: "g1",
+			Bars: []Bar{
+				{Label: "full", Value: 1.0},
+				{Label: "half", Value: 0.5},
+			},
+		}},
+		Legend: []LegendEntry{{'#', "time"}},
+	}
+	out := c.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "|##########| 1.00") {
+		t.Fatalf("full bar wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "|#####| 0.50") {
+		t.Fatalf("half bar wrong: %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "# time") {
+		t.Fatalf("legend wrong: %q", lines[4])
+	}
+}
+
+func TestBarChartSegments(t *testing.T) {
+	c := BarChart{
+		Width: 10, Scale: 1.0,
+		Groups: []BarGroup{{
+			Label: "g",
+			Bars: []Bar{{
+				Label: "b", Value: 1.0,
+				Segments: []Segment{{'=', 0.5}, {'.', 0.5}},
+			}},
+		}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "|=====.....|") {
+		t.Fatalf("segments wrong:\n%s", out)
+	}
+}
+
+func TestBarChartZeroAndDefaults(t *testing.T) {
+	c := BarChart{Groups: []BarGroup{{Label: "g", Bars: []Bar{{Label: "z", Value: 0}}}}}
+	out := c.Render()
+	if !strings.Contains(out, "|| 0.00") {
+		t.Fatalf("zero bar wrong:\n%s", out)
+	}
+}
+
+func TestBarChartLabelAlignment(t *testing.T) {
+	c := BarChart{Width: 4, Scale: 1,
+		Groups: []BarGroup{{Label: "g", Bars: []Bar{
+			{Label: "x", Value: 0.5},
+			{Label: "longer", Value: 0.5},
+		}}}}
+	lines := strings.Split(strings.TrimRight(c.Render(), "\n"), "\n")
+	if strings.Index(lines[1], "|") != strings.Index(lines[2], "|") {
+		t.Fatalf("bars not aligned:\n%s", c.Render())
+	}
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakdownAddTotal(t *testing.T) {
+	var b Breakdown
+	b.Add(Compute, 100)
+	b.Add(Sync, 30)
+	b.Add(Compute, 50)
+	if b.Total() != 180 {
+		t.Fatalf("total = %d, want 180", b.Total())
+	}
+	if b.Cycles[Compute] != 150 {
+		t.Fatalf("compute = %d, want 150", b.Cycles[Compute])
+	}
+}
+
+func TestBreakdownNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative charge did not panic")
+		}
+	}()
+	var b Breakdown
+	b.Add(Compute, -1)
+}
+
+func TestBreakdownMerge(t *testing.T) {
+	var a, b Breakdown
+	a.Add(ReadInval, 10)
+	b.Add(ReadInval, 5)
+	b.Add(WriteOther, 7)
+	a.Merge(&b)
+	if a.Cycles[ReadInval] != 15 || a.Cycles[WriteOther] != 7 {
+		t.Fatalf("merge wrong: %v", a)
+	}
+}
+
+func TestShare(t *testing.T) {
+	var b Breakdown
+	if b.Share(Compute) != 0 {
+		t.Fatal("empty breakdown share not 0")
+	}
+	b.Add(Compute, 75)
+	b.Add(Sync, 25)
+	if got := b.Share(Compute); got != 0.75 {
+		t.Fatalf("share = %v, want 0.75", got)
+	}
+}
+
+func TestMergeCommutesProperty(t *testing.T) {
+	f := func(xs, ys [NumCategories]uint16) bool {
+		var a, b, c, d Breakdown
+		for i := 0; i < int(NumCategories); i++ {
+			a.Add(Category(i), int64(xs[i]))
+			c.Add(Category(i), int64(xs[i]))
+			b.Add(Category(i), int64(ys[i]))
+			d.Add(Category(i), int64(ys[i]))
+		}
+		a.Merge(&b) // a = x+y
+		d.Merge(&c) // d = y+x
+		return a == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	for _, c := range Categories() {
+		if strings.HasPrefix(c.String(), "Category(") {
+			t.Fatalf("category %d has no name", int(c))
+		}
+	}
+	if Category(99).String() != "Category(99)" {
+		t.Fatal("out-of-range category not formatted defensively")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	var b Breakdown
+	if b.String() != "(empty)" {
+		t.Fatalf("empty string = %q", b.String())
+	}
+	b.Add(Compute, 5)
+	if got := b.String(); got != "compute=5" {
+		t.Fatalf("string = %q", got)
+	}
+}
+
+func TestTableRenderAligns(t *testing.T) {
+	tab := Table{Title: "T", Header: []string{"name", "v"}}
+	tab.AddRow("longlonglong", "1")
+	tab.AddRow("x") // short row padded
+	out := tab.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "T" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[3], "longlonglong  1") {
+		t.Fatalf("row = %q", lines[3])
+	}
+	// All data lines same width for first column.
+	if len(lines[3][:12]) != len("longlonglong") {
+		t.Fatal("column not padded")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.41) != "41%" {
+		t.Fatalf("Pct = %q", Pct(0.41))
+	}
+	if Norm(0.8449) != "0.84" {
+		t.Fatalf("Norm = %q", Norm(0.8449))
+	}
+}

@@ -1,0 +1,203 @@
+// Package trace records and replays workload operation streams. A trace is
+// the per-processor sequence of memory references and synchronization
+// operations a kernel issued — the input representation trace-driven
+// simulators consume. Recording runs the workload once on a reference
+// machine; the text codec makes traces diffable and the Replay program
+// turns a recorded trace back into a runnable workload (without the
+// original's data-flow assertions).
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dsisim/internal/cpu"
+	"dsisim/internal/machine"
+	"dsisim/internal/mem"
+)
+
+// Event is one recorded operation.
+type Event struct {
+	Proc   int
+	Kind   string // read write swap compute barrier unlock flush halt
+	Addr   mem.Addr
+	Word   uint64
+	Cycles int64
+	Sync   bool
+}
+
+// Trace is a full recording.
+type Trace struct {
+	Workload string
+	Procs    int
+	Events   []Event
+}
+
+// PerProc splits the events by processor, preserving program order.
+func (t *Trace) PerProc() [][]Event {
+	out := make([][]Event, t.Procs)
+	for _, e := range t.Events {
+		out[e.Proc] = append(out[e.Proc], e)
+	}
+	return out
+}
+
+// Counts returns per-kind totals.
+func (t *Trace) Counts() map[string]int64 {
+	out := make(map[string]int64)
+	for _, e := range t.Events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Record runs prog on a machine built from cfg and captures its operation
+// stream. The machine configuration affects timing but not the stream
+// itself for data-independent kernels (all built-in workloads).
+func Record(cfg machine.Config, prog machine.Program) (*Trace, machine.Result) {
+	t := &Trace{Workload: prog.Name()}
+	cfg.Tracer = func(proc int, op cpu.TraceOp) {
+		t.Events = append(t.Events, Event{
+			Proc: proc, Kind: op.Kind, Addr: op.Addr, Word: op.Word,
+			Cycles: op.Cycles, Sync: op.Sync,
+		})
+	}
+	m := machine.New(cfg)
+	t.Procs = m.Config().Processors
+	res := m.Run(prog)
+	return t, res
+}
+
+// Write encodes the trace as text: a header line, then one line per event
+// ("<proc> <kind> <addr-hex> <word> <cycles> <sync>").
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "dsitrace %s procs=%d events=%d\n", t.Workload, t.Procs, len(t.Events))
+	for _, e := range t.Events {
+		s := 0
+		if e.Sync {
+			s = 1
+		}
+		fmt.Fprintf(bw, "%d %s %x %d %d %d\n", e.Proc, e.Kind, uint64(e.Addr), e.Word, e.Cycles, s)
+	}
+	return bw.Flush()
+}
+
+// Read decodes a text trace.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	var t Trace
+	var events int
+	if _, err := fmt.Sscanf(sc.Text(), "dsitrace %s procs=%d events=%d", &t.Workload, &t.Procs, &events); err != nil {
+		return nil, fmt.Errorf("trace: bad header %q: %w", sc.Text(), err)
+	}
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) != 6 {
+			return nil, fmt.Errorf("trace: bad line %q", sc.Text())
+		}
+		var e Event
+		var err error
+		if e.Proc, err = strconv.Atoi(f[0]); err != nil {
+			return nil, fmt.Errorf("trace: bad proc in %q", sc.Text())
+		}
+		e.Kind = f[1]
+		a, err := strconv.ParseUint(f[2], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad addr in %q", sc.Text())
+		}
+		e.Addr = mem.Addr(a)
+		if e.Word, err = strconv.ParseUint(f[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: bad word in %q", sc.Text())
+		}
+		if e.Cycles, err = strconv.ParseInt(f[4], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: bad cycles in %q", sc.Text())
+		}
+		e.Sync = f[5] == "1"
+		t.Events = append(t.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.Events) != events {
+		return nil, fmt.Errorf("trace: header says %d events, read %d", events, len(t.Events))
+	}
+	return &t, nil
+}
+
+// Replay is a machine.Program that re-issues a recorded trace. Lock/unlock
+// pairs are replayed as raw swaps/stores, so inter-processor timing may
+// differ from the recording; replay preserves each processor's program
+// order, which is the property trace-driven studies rely on.
+type Replay struct {
+	T *Trace
+	// AddressSpace must cover the trace's highest address; Setup allocates
+	// one interleaved region spanning it.
+	top mem.Addr
+}
+
+// NewReplay builds a replay program for t.
+func NewReplay(t *Trace) *Replay {
+	r := &Replay{T: t}
+	for _, e := range t.Events {
+		if e.Addr > r.top {
+			r.top = e.Addr
+		}
+	}
+	return r
+}
+
+// Name implements machine.Program.
+func (r *Replay) Name() string { return "replay:" + r.T.Workload }
+
+// WarmupBarriers implements machine.Program: replays measure everything.
+func (r *Replay) WarmupBarriers() int { return 0 }
+
+// Setup implements machine.Program.
+func (r *Replay) Setup(m *machine.Machine) {
+	if r.top == 0 {
+		return
+	}
+	// Reserve the whole traced range. Homes follow the default interleave,
+	// which is also what Layout.Home falls back to for unallocated
+	// addresses, so traced homes are stable whether or not the original
+	// regions are reconstructed.
+	m.Layout().AllocInterleaved("replay", uint64(r.top)+mem.BlockSize)
+}
+
+// Kernel implements machine.Program.
+func (r *Replay) Kernel(p *cpu.Proc) {
+	for _, e := range r.T.Events {
+		if e.Proc != p.ID() {
+			continue
+		}
+		switch e.Kind {
+		case "read":
+			if e.Sync {
+				p.ReadSync(e.Addr)
+			} else {
+				p.Read(e.Addr)
+			}
+		case "write":
+			p.WriteWord(e.Addr, e.Word)
+		case "swap":
+			p.Swap(e.Addr, e.Word)
+		case "unlock":
+			p.Unlock(e.Addr)
+		case "compute":
+			p.Compute(e.Cycles)
+		case "barrier":
+			p.Barrier()
+		case "flush", "halt":
+			// flushes re-occur naturally with the replayed swaps; halt ends
+			// the stream.
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dsisim/internal/machine"
+	"dsisim/internal/proto"
+	"dsisim/internal/workload"
+)
+
+func record(t *testing.T, name string) (*Trace, machine.Result) {
+	t.Helper()
+	prog, err := workload.New(name, workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, res := Record(machine.Config{Processors: 4, Consistency: proto.SC}, prog)
+	if res.Failed() {
+		t.Fatalf("recording failed: %s", res.Errors[0])
+	}
+	return tr, res
+}
+
+func TestRecordCapturesAllProcs(t *testing.T) {
+	tr, _ := record(t, "sparse")
+	if tr.Procs != 4 {
+		t.Fatalf("procs = %d", tr.Procs)
+	}
+	per := tr.PerProc()
+	for i, evs := range per {
+		if len(evs) == 0 {
+			t.Fatalf("proc %d recorded no events", i)
+		}
+		if evs[len(evs)-1].Kind != "halt" {
+			t.Fatalf("proc %d stream does not end in halt: %s", i, evs[len(evs)-1].Kind)
+		}
+	}
+	c := tr.Counts()
+	if c["read"] == 0 || c["write"] == 0 || c["barrier"] == 0 {
+		t.Fatalf("counts missing expected kinds: %v", c)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr, _ := record(t, "migratory")
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload != tr.Workload || back.Procs != tr.Procs || len(back.Events) != len(tr.Events) {
+		t.Fatalf("round trip mismatch: %v vs %v", back, tr)
+	}
+	for i := range tr.Events {
+		if back.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d: %v != %v", i, back.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a trace\n",
+		"dsitrace x procs=2 events=1\nbogus line\n",
+		"dsitrace x procs=2 events=5\n0 read 20 0 0 0\n", // count mismatch
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Fatalf("garbage %q accepted", c)
+		}
+	}
+}
+
+func TestReplayRuns(t *testing.T) {
+	tr, orig := record(t, "prodcons")
+	cfg := machine.Config{Processors: tr.Procs, Consistency: proto.SC}
+	res := machine.New(cfg).Run(NewReplay(tr))
+	if res.Failed() {
+		t.Fatalf("replay failed: %s", res.Errors[0])
+	}
+	if res.TotalTime == 0 {
+		t.Fatal("replay did no work")
+	}
+	// Same machine, same stream: replay time tracks the original's total
+	// time to within the warm-up accounting difference.
+	if res.TotalTime < orig.TotalTime/2 || res.TotalTime > orig.TotalTime*2 {
+		t.Fatalf("replay time %d wildly off original %d", res.TotalTime, orig.TotalTime)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	tr, _ := record(t, "em3d")
+	run := func() machine.Result {
+		return machine.New(machine.Config{Processors: tr.Procs}).Run(NewReplay(tr))
+	}
+	a, b := run(), run()
+	if a.Failed() || a.TotalTime != b.TotalTime {
+		t.Fatalf("replay nondeterministic: %d vs %d", a.TotalTime, b.TotalTime)
+	}
+}

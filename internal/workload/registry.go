@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scale selects a size preset for the registry constructors.
+type Scale int
+
+const (
+	// ScalePaper is the default evaluation size (scaled from the paper's
+	// inputs per DESIGN.md §4).
+	ScalePaper Scale = iota
+	// ScaleTest is a small size for fast unit/integration tests.
+	ScaleTest
+)
+
+// builders maps workload names to constructors.
+var builders = map[string]func(Scale) Program{
+	"barnes": func(s Scale) Program {
+		p := BarnesDefaults()
+		if s == ScaleTest {
+			p.Bodies, p.Cells, p.Iters, p.CellsPerBody = 64, 16, 2, 4
+		}
+		return NewBarnes(p)
+	},
+	"em3d": func(s Scale) Program {
+		p := EM3DDefaults()
+		if s == ScaleTest {
+			p.NodesPerProc, p.Iters = 12, 2
+		}
+		return NewEM3D(p)
+	},
+	"ocean": func(s Scale) Program {
+		p := OceanDefaults()
+		if s == ScaleTest {
+			p.N, p.Iters = 16, 2
+		}
+		return NewOcean(p)
+	},
+	"sparse": func(s Scale) Program {
+		p := SparseDefaults()
+		if s == ScaleTest {
+			p.N, p.Iters, p.Passes = 64, 2, 2
+		}
+		return NewSparse(p)
+	},
+	"tomcatv": func(s Scale) Program {
+		p := TomcatvDefaults()
+		if s == ScaleTest {
+			p.N, p.Iters, p.Arrays = 32, 2, 3
+		}
+		return NewTomcatv(p)
+	},
+	"prodcons": func(s Scale) Program {
+		w := &ProducerConsumer{Blocks: 32, Rounds: 10}
+		if s == ScaleTest {
+			w.Blocks, w.Rounds = 8, 3
+		}
+		return w
+	},
+	"migratory": func(s Scale) Program {
+		w := &Migratory{Blocks: 16, Rounds: 5}
+		if s == ScaleTest {
+			w.Blocks, w.Rounds = 4, 2
+		}
+		return w
+	},
+	"readshared": func(s Scale) Program {
+		w := &ReadShared{Blocks: 32, Rounds: 10}
+		if s == ScaleTest {
+			w.Blocks, w.Rounds = 8, 3
+		}
+		return w
+	},
+	"locks": func(s Scale) Program {
+		w := &LockContention{Locks: 4, Rounds: 20}
+		if s == ScaleTest {
+			w.Rounds = 5
+		}
+		return w
+	},
+	"falseshare": func(s Scale) Program {
+		w := &FalseSharing{Rounds: 20}
+		if s == ScaleTest {
+			w.Rounds = 5
+		}
+		return w
+	},
+}
+
+// Names returns all registered workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperNames returns the five Table 1 applications in the paper's order.
+func PaperNames() []string {
+	return []string{"barnes", "em3d", "ocean", "sparse", "tomcatv"}
+}
+
+// New builds a fresh workload instance by name (a Program is single-use,
+// like the Machine that runs it).
+func New(name string, s Scale) (Program, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown name %q (have %v)", name, Names())
+	}
+	return b(s), nil
+}

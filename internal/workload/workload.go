@@ -1,0 +1,94 @@
+// Package workload re-implements the paper's five application programs
+// (Table 1) as kernels for the simulator, preserving each benchmark's
+// sharing structure at reduced scale, plus a set of microbenchmarks used by
+// tests and examples.
+//
+//	Barnes   — N-body: fine-grain cell locking during tree build, read-shared
+//	           tree during force computation, load imbalance.
+//	EM3D     — bipartite graph relaxation: locally-allocated node values, a
+//	           fraction of remote dependencies, all writes at the home node.
+//	Ocean    — red-black grid relaxation with row partitioning, neighbor-row
+//	           exchange, and a lock-protected global residual.
+//	Sparse   — iterative solve: every processor reads the whole shared
+//	           vector each iteration, then rewrites its own slice
+//	           (the paper's best case for DSI).
+//	Tomcatv  — mesh generation: seven row-partitioned arrays, neighbor rows,
+//	           working set sized to overflow the small cache class.
+//
+// Scale is controlled by each workload's parameter struct; Scaled presets
+// keep the paper's fits-in-large-cache / overflows-small-cache relations at
+// simulation-friendly sizes (the substitution is documented in DESIGN.md).
+package workload
+
+import (
+	"dsisim/internal/cpu"
+	"dsisim/internal/machine"
+	"dsisim/internal/mem"
+)
+
+// WordBytes is the element size used by all workload arrays.
+const WordBytes = 8
+
+// Array is a 1-D array of 8-byte elements in simulated memory.
+type Array struct {
+	r mem.Region
+	n int
+}
+
+// NewArrayInterleaved allocates an n-element array with blocks interleaved
+// across all nodes.
+func NewArrayInterleaved(l *mem.Layout, name string, n int) Array {
+	return Array{r: l.AllocInterleaved(name, uint64(n)*WordBytes), n: n}
+}
+
+// NewArrayBlocked allocates an n-element array split contiguously across
+// nodes (row-partitioned grids).
+func NewArrayBlocked(l *mem.Layout, name string, n int) Array {
+	return Array{r: l.AllocBlocked(name, uint64(n)*WordBytes), n: n}
+}
+
+// NewArrayLocal allocates an n-element array homed entirely at node.
+func NewArrayLocal(l *mem.Layout, name string, n, node int) Array {
+	return Array{r: l.AllocLocal(name, uint64(n)*WordBytes, node), n: n}
+}
+
+// Len returns the element count.
+func (a Array) Len() int { return a.n }
+
+// At returns the address of element i.
+func (a Array) At(i int) mem.Addr {
+	return a.r.Addr(uint64(i) * WordBytes)
+}
+
+// Locks is an array of spin locks, one cache block each (no false sharing).
+type Locks struct {
+	r mem.Region
+	n int
+}
+
+// NewLocks allocates n locks with blocks interleaved across nodes.
+func NewLocks(l *mem.Layout, name string, n int) Locks {
+	return Locks{r: l.AllocInterleaved(name, uint64(n)*mem.BlockSize), n: n}
+}
+
+// Addr returns lock i's address.
+func (lk Locks) Addr(i int) mem.Addr {
+	return lk.r.Addr(uint64(i) * mem.BlockSize)
+}
+
+// Len returns the lock count.
+func (lk Locks) Len() int { return lk.n }
+
+// span returns the half-open element range [lo, hi) owned by proc id of n
+// total elements across nprocs processors.
+func span(n, id, nprocs int) (lo, hi int) {
+	lo = n * id / nprocs
+	hi = n * (id + 1) / nprocs
+	return lo, hi
+}
+
+// Program is the workload-side alias of machine.Program.
+type Program = machine.Program
+
+// Proc is the workload-side alias of the processor handle.
+type Proc = cpu.Proc
