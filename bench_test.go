@@ -237,6 +237,66 @@ func BenchmarkAblationLimitedDirectory(b *testing.B) {
 
 // --- simulator micro-benchmarks ----------------------------------------------
 
+// The three benchstat-ready kernel benchmarks below (BenchmarkEventQueue,
+// BenchmarkNetworkDelivery, BenchmarkRunOne) report allocations so that a
+//
+//	go test -run=NONE -bench='EventQueue$|NetworkDelivery$|RunOne$' -count=10
+//
+// pair of runs before and after a kernel change benchstats cleanly. README.md
+// §Performance records the current numbers.
+
+// BenchmarkEventQueue measures the typed scheduling path: one pending event
+// rearming itself through AfterCall. Steady state allocates nothing; heap
+// growth is amortized away by the rearm pattern.
+func BenchmarkEventQueue(b *testing.B) {
+	b.ReportAllocs()
+	var q event.Queue
+	n := 0
+	var rearm event.Action
+	rearm = func(arg any) {
+		n++
+		if n < b.N {
+			q.AfterCall(1, rearm, arg)
+		}
+	}
+	q.AfterCall(1, rearm, &n)
+	b.ResetTimer()
+	q.Run()
+}
+
+// BenchmarkNetworkDelivery measures one message per iteration through the
+// pooled delivery path: Send, deliver, recycle.
+func BenchmarkNetworkDelivery(b *testing.B) {
+	b.ReportAllocs()
+	q := &event.Queue{}
+	net := netsim.New(q, netsim.Config{Nodes: 4, Latency: 100})
+	for i := 0; i < 4; i++ {
+		net.SetHandler(i, func(netsim.Message) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(netsim.Message{Kind: netsim.GetS, Src: 0, Dst: 1, Addr: 32})
+		q.Run()
+	}
+}
+
+// BenchmarkRunOne measures one full test-scale simulation per iteration —
+// the end-to-end number the ISSUE's ≥2× allocs/op target is judged on, and
+// the measurement cmd/dsibench -benchjson records in BENCH_kernel.json.
+func BenchmarkRunOne(b *testing.B) {
+	b.ReportAllocs()
+	cfg := Config{Workload: "em3d", Scale: ScaleTest, Protocol: V, Processors: 8}
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Kernel.Events
+	}
+	b.ReportMetric(float64(events), "events/op")
+}
+
 // BenchmarkEventQueueMicro measures raw event throughput.
 func BenchmarkEventQueueMicro(b *testing.B) {
 	var q event.Queue

@@ -1,30 +1,102 @@
-// Command dsibench regenerates the paper's tables and figures.
+// Command dsibench regenerates the paper's tables and figures, and measures
+// the simulator itself.
 //
 // Usage:
 //
-//	dsibench [-experiment all|tab1|fig3|fig4|fig5|tab2|tab3] [-procs N] [-test]
+//	dsibench [-experiment all|tab1|fig3|fig4|fig5|tab2|tab3|sweep] [-procs N] [-test]
+//	         [-cpuprofile f] [-memprofile f] [-trace f]
+//	         [-benchjson f]
 //
 // Output is plain text, one table per artifact, with execution times
 // normalized exactly as the paper reports them. Expect the full suite at
 // paper scale to take several minutes: it simulates a 32-processor machine
 // across ~60 configurations.
+//
+// The profiling flags wrap whichever mode runs: -cpuprofile and -memprofile
+// write pprof profiles, -trace writes a runtime execution trace. They make
+// the simulator's own hot path measurable (`go tool pprof`, `go tool
+// trace`) instead of guessed at.
+//
+// -benchjson skips the paper artifacts and instead benchmarks the event
+// kernel end to end (repeated full simulations of one workload), writing a
+// benchstat-compatible summary — ns/op, allocs/op, events/sec — as JSON.
+// The repository keeps the current numbers in BENCH_kernel.json; regenerate
+// with:
+//
+//	go run ./cmd/dsibench -benchjson BENCH_kernel.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+	"testing"
 	"time"
 
+	"dsisim"
 	"dsisim/internal/experiments"
 	"dsisim/internal/workload"
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "artifact to regenerate: all, or one of tab1 fig3 fig4 fig5 tab2 tab3")
+	exp := flag.String("experiment", "all", "artifact to regenerate: all, or one of tab1 fig3 fig4 fig5 tab2 tab3 sweep")
 	procs := flag.Int("procs", 32, "simulated processors")
 	testScale := flag.Bool("test", false, "use tiny test-scale inputs (fast smoke run)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
+	benchjson := flag.String("benchjson", "", "benchmark the simulation kernel and write a JSON summary to this file instead of running experiments")
+	benchWorkload := flag.String("benchworkload", "em3d", "workload for -benchjson")
+	benchScale := flag.Bool("benchpaper", false, "run -benchjson at paper scale instead of test scale")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			fatal(err)
+		}
+		defer rtrace.Stop()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}()
+
+	if *benchjson != "" {
+		if err := runKernelBench(*benchjson, *benchWorkload, *procs, *benchScale); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	o := experiments.Options{Processors: *procs}
 	if *testScale {
@@ -44,4 +116,95 @@ func main() {
 		}
 		fmt.Printf("=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), out)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsibench:", err)
+	os.Exit(1)
+}
+
+// KernelBench is the JSON schema of -benchjson: one end-to-end measurement
+// of the simulation kernel, comparable across commits.
+type KernelBench struct {
+	Workload   string `json:"workload"`
+	Protocol   string `json:"protocol"`
+	Processors int    `json:"processors"`
+	Scale      string `json:"scale"`
+
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`      // wall time per full simulation
+	AllocsPerOp  int64   `json:"allocs_per_op"`  // heap allocations per full simulation
+	BytesPerOp   int64   `json:"bytes_per_op"`   // heap bytes per full simulation
+	EventsPerOp  uint64  `json:"events_per_op"`  // kernel events per simulation
+	EventsPerSec float64 `json:"events_per_sec"` // simulation throughput
+
+	SimCycles     int64  `json:"sim_cycles"`     // simulated time of one run
+	PeakQueue     int    `json:"peak_queue"`     // max pending events
+	AllocsAvoided uint64 `json:"allocs_avoided"` // typed/pooled events per run
+	GoVersion     string `json:"go_version"`
+}
+
+// runKernelBench benchmarks repeated full simulations with testing.Benchmark
+// and writes the summary JSON to path.
+func runKernelBench(path, wl string, procs int, paperScale bool) error {
+	scale := dsisim.ScaleTest
+	scaleName := "test"
+	if paperScale {
+		scale = dsisim.ScalePaper
+		scaleName = "paper"
+	}
+	cfg := dsisim.Config{Workload: wl, Scale: scale, Protocol: dsisim.V, Processors: procs}
+
+	// One priming run for the kernel counters (identical every iteration:
+	// the simulation is deterministic).
+	probe, err := dsisim.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dsisim.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	out := KernelBench{
+		Workload:      wl,
+		Protocol:      string(dsisim.V),
+		Processors:    probeProcs(procs),
+		Scale:         scaleName,
+		Iterations:    r.N,
+		NsPerOp:       float64(r.NsPerOp()),
+		AllocsPerOp:   r.AllocsPerOp(),
+		BytesPerOp:    r.AllocedBytesPerOp(),
+		EventsPerOp:   probe.Kernel.Events,
+		EventsPerSec:  float64(probe.Kernel.Events) / (float64(r.NsPerOp()) / 1e9),
+		SimCycles:     int64(probe.TotalTime),
+		PeakQueue:     probe.Kernel.PeakQueue,
+		AllocsAvoided: probe.Kernel.AllocsAvoided(),
+		GoVersion:     runtime.Version(),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("kernel bench: %d iter, %.2fms/op, %d allocs/op, %.0f events/sec -> %s\n",
+		r.N, out.NsPerOp/1e6, out.AllocsPerOp, out.EventsPerSec, path)
+	return nil
+}
+
+// probeProcs normalizes the processor count the way machine.Config.Defaults
+// does (0 means the paper's 32).
+func probeProcs(n int) int {
+	if n == 0 {
+		return 32
+	}
+	return n
 }

@@ -83,6 +83,34 @@ type Proc struct {
 	halt event.Time
 	err  error
 
+	// In-order operation state: the core has at most one operation in
+	// flight, so its continuation context lives here instead of in per-op
+	// closures. r is the current request, start its issue time, resp the
+	// response to deliver at the next resume, pending the response parked
+	// across a trailing self-invalidation flush.
+	r       request
+	start   event.Time
+	resp    response
+	pending response
+
+	// drained/arrived are the intermediate timestamps of the multi-stage
+	// synchronization sequences (drain → access → flush → barrier).
+	drained event.Time
+	arrived event.Time
+
+	// flushNext runs after the current self-invalidation flush completes.
+	flushNext  func()
+	flushStart event.Time
+
+	// Continuations bound once at construction so issuing an operation
+	// allocates nothing.
+	contRead, contWrite, contSwap, contUnlockWrite func(proto.Result)
+	contFlushed                                    func(proto.Result)
+	contSwapDrained, contUnlockDrained             func()
+	contBarrierDrained, contBarrierFlushed         func()
+	contBarrierReleased, contFinishResp            func()
+	contFlushFinish                                func()
+
 	// SpinBackoffMax bounds the exponential backoff between lock retries.
 	SpinBackoffMax int64
 
@@ -107,13 +135,26 @@ var opNames = map[opKind]string{
 
 // New builds a processor. Start must be called to launch its kernel.
 func New(id, n int, q *event.Queue, cc *proto.CacheCtrl, barrier *Barrier, brk *stats.Breakdown, seed uint64) *Proc {
-	return &Proc{
+	p := &Proc{
 		id: id, n: n, q: q, cc: cc, barrier: barrier, brk: brk,
 		rnd:            rng.New(seed ^ uint64(id)*0x9e3779b97f4a7c15),
 		req:            make(chan request),
 		res:            make(chan response),
 		SpinBackoffMax: 256,
 	}
+	p.contRead = p.onRead
+	p.contWrite = p.onWrite
+	p.contSwap = p.onSwap
+	p.contUnlockWrite = p.onUnlockWrite
+	p.contFlushed = p.onFlushed
+	p.contSwapDrained = p.onSwapDrained
+	p.contUnlockDrained = p.onUnlockDrained
+	p.contBarrierDrained = p.onBarrierDrained
+	p.contBarrierFlushed = p.onBarrierFlushed
+	p.contBarrierReleased = p.onBarrierReleased
+	p.contFinishResp = p.finishResp
+	p.contFlushFinish = p.onFlushFinish
+	return p
 }
 
 // ID returns the processor number.
@@ -243,7 +284,16 @@ func (p *Proc) Start(k Kernel) {
 		}()
 		k(p)
 	}()
-	p.q.After(0, p.step)
+	p.q.AfterCall(0, func(arg any) { arg.(*Proc).step() }, p)
+}
+
+// resumeProc is the static typed-event action that delivers the pending
+// response to the kernel and fetches its next operation — the single resume
+// point every operation funnels through, with no per-op closure.
+func resumeProc(arg any) {
+	p := arg.(*Proc)
+	p.res <- p.resp
+	p.step()
 }
 
 // step retrieves the kernel's next operation and executes it. The channel
@@ -255,6 +305,8 @@ func (p *Proc) step() {
 	if p.OnOp != nil {
 		p.OnOp(TraceOp{Kind: opNames[r.kind], Addr: r.addr, Word: r.word, Cycles: r.cycles, Sync: r.sync})
 	}
+	p.r = r
+	p.start = p.q.Now()
 	switch r.kind {
 	case opHalt:
 		p.done = true
@@ -265,33 +317,35 @@ func (p *Proc) step() {
 			cat = stats.Sync
 		}
 		p.brk.Add(cat, r.cycles)
-		p.q.After(event.Time(r.cycles), func() {
-			p.res <- response{}
-			p.step()
-		})
+		p.resp = response{}
+		p.q.AfterCall(event.Time(r.cycles), resumeProc, p)
 	case opRead:
-		p.doRead(r)
+		p.cc.Read(r.addr, p.contRead)
 	case opWrite:
-		p.doWrite(r)
+		p.cc.Write(r.addr, p.token(r.word), p.contWrite)
 	case opSwap:
-		p.doSwap(r)
+		p.cc.DrainWB(p.contSwapDrained)
 	case opUnlock:
-		p.doUnlock(r)
+		p.cc.DrainWB(p.contUnlockDrained)
 	case opFlush:
-		p.flushThen(func() { p.finish(response{}) })
+		p.flushThen(p.contFlushFinish)
 	case opBarrier:
-		p.doBarrier()
+		p.cc.DrainWB(p.contBarrierDrained)
 	}
 }
 
 // finish charges one issue cycle, replies to the kernel, and continues.
 func (p *Proc) finish(resp response) {
 	p.brk.Add(stats.Compute, 1)
-	p.q.After(1, func() {
-		p.res <- resp
-		p.step()
-	})
+	p.resp = resp
+	p.q.AfterCall(1, resumeProc, p)
 }
+
+// finishResp finishes with the response parked across a flush.
+func (p *Proc) finishResp() { p.finish(p.pending) }
+
+// onFlushFinish completes a standalone flush request.
+func (p *Proc) onFlushFinish() { p.finish(response{}) }
 
 func (p *Proc) chargeRead(start event.Time, res proto.Result, sync bool) {
 	stall := int64(res.Done - start)
@@ -310,12 +364,10 @@ func (p *Proc) chargeRead(start event.Time, res proto.Result, sync bool) {
 	}
 }
 
-func (p *Proc) doRead(r request) {
-	start := p.q.Now()
-	p.cc.Read(r.addr, func(res proto.Result) {
-		p.chargeRead(start, res, r.sync)
-		p.finish(response{value: loaded(res.Value, r.addr)})
-	})
+// onRead completes a load (contRead).
+func (p *Proc) onRead(res proto.Result) {
+	p.chargeRead(p.start, res, p.r.sync)
+	p.finish(response{value: loaded(res.Value, p.r.addr)})
 }
 
 // loaded projects block contents onto the kernel-visible Value.
@@ -328,93 +380,104 @@ func (p *Proc) token(word uint64) proto.Store {
 	return proto.Store{Writer: p.id, Seq: p.seq, Word: word}
 }
 
-func (p *Proc) doWrite(r request) {
-	start := p.q.Now()
-	p.cc.Write(r.addr, p.token(r.word), func(res proto.Result) {
-		stall := int64(res.Done - start)
-		switch {
-		case r.sync:
-			p.brk.Add(stats.Sync, stall)
-		default:
-			full := int64(res.WBFullWait)
-			if full > stall {
-				full = stall
-			}
-			inv := int64(res.InvWait)
-			if inv > stall-full {
-				inv = stall - full
-			}
-			p.brk.Add(stats.WBFull, full)
-			p.brk.Add(stats.WriteInval, inv)
-			p.brk.Add(stats.WriteOther, stall-full-inv)
+// onWrite completes a store (contWrite).
+func (p *Proc) onWrite(res proto.Result) {
+	stall := int64(res.Done - p.start)
+	switch {
+	case p.r.sync:
+		p.brk.Add(stats.Sync, stall)
+	default:
+		full := int64(res.WBFullWait)
+		if full > stall {
+			full = stall
 		}
-		p.finish(response{})
-	})
+		inv := int64(res.InvWait)
+		if inv > stall-full {
+			inv = stall - full
+		}
+		p.brk.Add(stats.WBFull, full)
+		p.brk.Add(stats.WriteInval, inv)
+		p.brk.Add(stats.WriteOther, stall-full-inv)
+	}
+	p.finish(response{})
 }
 
-// doSwap drains the write buffer, performs the swap, and self-invalidates
-// marked blocks — the full synchronization-access sequence.
-func (p *Proc) doSwap(r request) {
-	start := p.q.Now()
-	p.cc.DrainWB(func() {
-		drained := p.q.Now()
-		p.brk.Add(stats.SyncWB, int64(drained-start))
-		p.cc.Swap(r.addr, r.word, p.token(r.word), func(res proto.Result) {
-			if r.sync {
-				p.brk.Add(stats.Sync, int64(res.Done-drained))
-			} else {
-				inv := int64(res.InvWait)
-				stall := int64(res.Done - drained)
-				if inv > stall {
-					inv = stall
-				}
-				p.brk.Add(stats.WriteInval, inv)
-				p.brk.Add(stats.WriteOther, stall-inv)
-			}
-			done := func() { p.finish(response{old: res.OldWord, value: loaded(res.Value, r.addr)}) }
-			if r.noFlush {
-				done()
-			} else {
-				p.flushThen(done)
-			}
-		})
-	})
+// onSwapDrained continues a swap once the write buffer has drained — the
+// full synchronization-access sequence is drain, swap, self-invalidate.
+func (p *Proc) onSwapDrained() {
+	drained := p.q.Now()
+	p.brk.Add(stats.SyncWB, int64(drained-p.start))
+	p.drained = drained
+	p.cc.Swap(p.r.addr, p.r.word, p.token(p.r.word), p.contSwap)
 }
 
-func (p *Proc) doUnlock(r request) {
-	start := p.q.Now()
-	p.cc.DrainWB(func() {
-		drained := p.q.Now()
-		p.brk.Add(stats.SyncWB, int64(drained-start))
-		p.cc.Write(r.addr, p.token(0), func(res proto.Result) {
-			p.brk.Add(stats.Sync, int64(res.Done-drained))
-			p.flushThen(func() { p.finish(response{}) })
-		})
-	})
+// onSwap completes the swap access and runs the trailing flush (contSwap).
+func (p *Proc) onSwap(res proto.Result) {
+	if p.r.sync {
+		p.brk.Add(stats.Sync, int64(res.Done-p.drained))
+	} else {
+		inv := int64(res.InvWait)
+		stall := int64(res.Done - p.drained)
+		if inv > stall {
+			inv = stall
+		}
+		p.brk.Add(stats.WriteInval, inv)
+		p.brk.Add(stats.WriteOther, stall-inv)
+	}
+	p.pending = response{old: res.OldWord, value: loaded(res.Value, p.r.addr)}
+	if p.r.noFlush {
+		p.finishResp()
+	} else {
+		p.flushThen(p.contFinishResp)
+	}
 }
 
-func (p *Proc) doBarrier() {
-	start := p.q.Now()
-	p.cc.DrainWB(func() {
-		drained := p.q.Now()
-		p.brk.Add(stats.SyncWB, int64(drained-start))
-		p.flushThen(func() {
-			arrived := p.q.Now()
-			p.barrier.Arrive(func() {
-				p.brk.Add(stats.Sync, int64(p.q.Now()-arrived))
-				p.finish(response{})
-			})
-		})
-	})
+// onUnlockDrained issues the releasing store once the buffer has drained.
+func (p *Proc) onUnlockDrained() {
+	drained := p.q.Now()
+	p.brk.Add(stats.SyncWB, int64(drained-p.start))
+	p.drained = drained
+	p.cc.Write(p.r.addr, p.token(0), p.contUnlockWrite)
+}
+
+// onUnlockWrite completes the releasing store and flushes (contUnlockWrite).
+func (p *Proc) onUnlockWrite(res proto.Result) {
+	p.brk.Add(stats.Sync, int64(res.Done-p.drained))
+	p.flushThen(p.contFlushFinish)
+}
+
+// onBarrierDrained flushes marked blocks before joining the barrier.
+func (p *Proc) onBarrierDrained() {
+	drained := p.q.Now()
+	p.brk.Add(stats.SyncWB, int64(drained-p.start))
+	p.flushThen(p.contBarrierFlushed)
+}
+
+// onBarrierFlushed parks the processor at the hardware barrier.
+func (p *Proc) onBarrierFlushed() {
+	p.arrived = p.q.Now()
+	p.barrier.Arrive(p.contBarrierReleased)
+}
+
+// onBarrierReleased charges the barrier wait and resumes the kernel.
+func (p *Proc) onBarrierReleased() {
+	p.brk.Add(stats.Sync, int64(p.q.Now()-p.arrived))
+	p.finish(response{})
 }
 
 // flushThen runs the DSI self-invalidation flush and charges its latency.
 func (p *Proc) flushThen(cont func()) {
-	start := p.q.Now()
-	p.cc.SyncFlush(func(res proto.Result) {
-		p.brk.Add(stats.DSIStall, int64(res.Done-start))
-		cont()
-	})
+	p.flushStart = p.q.Now()
+	p.flushNext = cont
+	p.cc.SyncFlush(p.contFlushed)
+}
+
+// onFlushed charges the flush stall and continues (contFlushed).
+func (p *Proc) onFlushed(res proto.Result) {
+	p.brk.Add(stats.DSIStall, int64(res.Done-p.flushStart))
+	next := p.flushNext
+	p.flushNext = nil
+	next()
 }
 
 // --- hardware barrier ---------------------------------------------------------

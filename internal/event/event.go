@@ -2,9 +2,14 @@
 // the simulator. Events are ordered by (time, insertion sequence), so two
 // runs that schedule the same events in the same order produce identical
 // executions regardless of map iteration order or goroutine scheduling.
+//
+// The queue is a hand-specialized 4-ary min-heap over a flat item slice:
+// no container/heap, no interface boxing, no per-event allocation. Callers
+// on hot paths use the typed path (AtCall/AfterCall), which dispatches a
+// static Action with a caller-pooled argument instead of a fresh closure;
+// the closure path (At/After) remains for cold call sites. Both paths share
+// one (time, seq) total order, so mixing them cannot perturb determinism.
 package event
-
-import "container/heap"
 
 // Time is a simulated clock value in processor cycles.
 type Time int64
@@ -13,33 +18,28 @@ type Time int64
 // for, with the Queue's clock already advanced to that time.
 type Func func()
 
+// Action is a typed event body: a static function invoked with the argument
+// it was scheduled with. Schedule pointer-shaped arguments (pointers, funcs)
+// — they store into the item without allocating, which is the point; pooled
+// records let steady-state simulation schedule without any allocation.
+type Action func(arg any)
+
+// item is one pending event. Exactly one of fn/act is set.
 type item struct {
 	at  Time
 	seq uint64
 	fn  Func
+	act Action
+	arg any
 }
 
-type itemHeap []item
-
-func (h itemHeap) Len() int { return len(h) }
-
-func (h itemHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *itemHeap) Push(x any) { *h = append(*h, x.(item)) }
-
-func (h *itemHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+// Stats counts kernel activity for observability (reported per run through
+// internal/stats and cmd/dsibench -benchjson).
+type Stats struct {
+	Executed  uint64 // events run
+	Scheduled uint64 // events enqueued
+	Typed     uint64 // events through AtCall/AfterCall (closure allocs avoided)
+	PeakLen   int    // maximum pending events observed
 }
 
 // Queue is a discrete-event scheduler. The zero value is ready to use with
@@ -47,8 +47,11 @@ func (h *itemHeap) Pop() any {
 type Queue struct {
 	now  Time
 	seq  uint64
-	heap itemHeap
-	ran  uint64
+	heap []item
+
+	ran   uint64
+	typed uint64
+	peak  int
 }
 
 // Now returns the current simulated time.
@@ -60,14 +63,39 @@ func (q *Queue) Len() int { return len(q.heap) }
 // Executed returns the total number of events that have run.
 func (q *Queue) Executed() uint64 { return q.ran }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it always indicates a protocol timing bug, not a recoverable condition.
-func (q *Queue) At(t Time, fn Func) {
+// Stats returns a snapshot of the kernel counters.
+func (q *Queue) Stats() Stats {
+	return Stats{Executed: q.ran, Scheduled: q.seq, Typed: q.typed, PeakLen: q.peak}
+}
+
+// Reset returns the queue to its zero state (clock 0, empty heap, counters
+// cleared) while keeping the heap's capacity, so a pooled machine reused
+// across experiments starts from a clean ordering state.
+func (q *Queue) Reset() {
+	clear(q.heap) // drop fn/arg references so recycled queues don't pin them
+	q.heap = q.heap[:0]
+	q.now, q.seq, q.ran, q.typed, q.peak = 0, 0, 0, 0, 0
+}
+
+// next allocates the insertion sequence number for an event at time t,
+// validating the schedule time. The sequence is the FIFO tiebreaker for
+// same-time events; if it ever wrapped, ordering between runs would diverge
+// silently, so wraparound is a hard stop.
+func (q *Queue) next(t Time) uint64 {
 	if t < q.now {
 		panic("event: scheduled in the past")
 	}
 	q.seq++
-	heap.Push(&q.heap, item{at: t, seq: q.seq, fn: fn})
+	if q.seq == 0 {
+		panic("event: sequence counter wrapped; Reset the queue between runs")
+	}
+	return q.seq
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a protocol timing bug, not a recoverable condition.
+func (q *Queue) At(t Time, fn Func) {
+	q.push(item{at: t, seq: q.next(t), fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
@@ -78,16 +106,36 @@ func (q *Queue) After(d Time, fn Func) {
 	q.At(q.now+d, fn)
 }
 
+// AtCall schedules act(arg) at absolute time t. This is the allocation-free
+// path: act is a static function and arg is typically a pooled record, so
+// nothing escapes per event.
+func (q *Queue) AtCall(t Time, act Action, arg any) {
+	q.typed++
+	q.push(item{at: t, seq: q.next(t), act: act, arg: arg})
+}
+
+// AfterCall schedules act(arg) d cycles from now (typed path).
+func (q *Queue) AfterCall(d Time, act Action, arg any) {
+	if d < 0 {
+		panic("event: negative delay")
+	}
+	q.AtCall(q.now+d, act, arg)
+}
+
 // Step runs the single earliest pending event, advancing the clock to its
 // time. It reports whether an event ran.
 func (q *Queue) Step() bool {
 	if len(q.heap) == 0 {
 		return false
 	}
-	it := heap.Pop(&q.heap).(item)
+	it := q.pop()
 	q.now = it.at
 	q.ran++
-	it.fn()
+	if it.fn != nil {
+		it.fn()
+	} else {
+		it.act(it.arg)
+	}
 	return true
 }
 
@@ -117,6 +165,85 @@ func (q *Queue) RunSteps(n uint64) uint64 {
 		}
 	}
 	return i
+}
+
+// --- 4-ary min-heap -----------------------------------------------------------
+//
+// A 4-ary layout halves the tree depth of the binary heap, trading slightly
+// wider sift-down scans for fewer cache-missing levels — the classic d-ary
+// tradeoff, and a consistent win for the simulator's push/pop-dominated
+// access pattern. Ordering is the same (time, seq) total order the binary
+// heap used; since it is total (seq is unique), heap shape cannot affect
+// pop order and results stay bit-exact.
+
+// before reports whether a orders strictly before b.
+func before(a, b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) push(it item) {
+	q.heap = append(q.heap, it)
+	if len(q.heap) > q.peak {
+		q.peak = len(q.heap)
+	}
+	// Sift up: move the hole toward the root until the parent orders first.
+	h := q.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !before(&it, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = it
+}
+
+func (q *Queue) pop() item {
+	h := q.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = item{} // release fn/arg references
+	q.heap = h[:n]
+	if n > 0 {
+		q.siftDown(last)
+	}
+	return top
+}
+
+// siftDown re-inserts it starting from the root of the shrunken heap.
+func (q *Queue) siftDown(it item) {
+	h := q.heap
+	n := len(h)
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		// Select the least of up to four children.
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if before(&h[j], &h[m]) {
+				m = j
+			}
+		}
+		if !before(&h[m], &it) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = it
 }
 
 // Server models a resource that serves one item at a time (a cache

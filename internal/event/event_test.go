@@ -1,6 +1,8 @@
 package event
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -156,6 +158,132 @@ func TestServerNoOverlapProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTypedPathInterleavesWithClosures(t *testing.T) {
+	var q Queue
+	var order []int
+	push := func(arg any) { order = append(order, *arg.(*int)) }
+	vals := [4]int{0, 1, 2, 3}
+	q.At(5, func() { order = append(order, vals[0]) })
+	q.AtCall(5, push, &vals[1])
+	q.At(5, func() { order = append(order, vals[2]) })
+	q.AtCall(5, push, &vals[3])
+	q.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want [0 1 2 3] (typed and closure events share one FIFO order)", order)
+		}
+	}
+}
+
+func TestAfterCallSchedulesRelative(t *testing.T) {
+	var q Queue
+	var hit Time
+	q.AtCall(10, func(arg any) {
+		arg.(*Queue).AfterCall(5, func(any) { hit = q.Now() }, nil)
+	}, &q)
+	q.Run()
+	if hit != 15 {
+		t.Fatalf("AfterCall fired at %d, want 15", hit)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	var q Queue
+	q.At(1, func() {})
+	q.AtCall(2, func(any) {}, nil)
+	q.AtCall(3, func(any) {}, nil)
+	if s := q.Stats(); s.PeakLen != 3 {
+		t.Fatalf("PeakLen = %d, want 3", s.PeakLen)
+	}
+	q.Run()
+	s := q.Stats()
+	if s.Executed != 3 || s.Scheduled != 3 || s.Typed != 2 {
+		t.Fatalf("Stats = %+v, want Executed=3 Scheduled=3 Typed=2", s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var q Queue
+	q.At(1, func() {})
+	q.At(2, func() { t.Error("event survived Reset") })
+	q.Step()
+	q.Reset()
+	if q.Now() != 0 || q.Len() != 0 {
+		t.Fatalf("after Reset: now=%d len=%d, want 0, 0", q.Now(), q.Len())
+	}
+	if s := q.Stats(); s != (Stats{}) {
+		t.Fatalf("after Reset: Stats = %+v, want zero", s)
+	}
+	// The queue must be fully reusable with fresh ordering state.
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		q.At(5, func() { order = append(order, i) })
+	}
+	q.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("post-Reset order = %v, want insertion order", order)
+		}
+	}
+}
+
+func TestSeqWraparoundPanics(t *testing.T) {
+	var q Queue
+	q.seq = ^uint64(0) // next increment wraps to 0
+	defer func() {
+		if recover() == nil {
+			t.Error("sequence wraparound did not panic")
+		}
+	}()
+	q.At(1, func() {})
+}
+
+// TestHeapOrderingFuzz drives the 4-ary heap with random interleavings of
+// pushes and pops and checks every pop sequence against a reference sort by
+// (time, seq). This is the heap-shape test: the public ordering properties
+// above can't distinguish a correct heap from one that works only for
+// monotone schedules.
+func TestHeapOrderingFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		var q Queue
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var scheduled, popped []rec
+		n := 0
+		for op := 0; op < 400; op++ {
+			if q.Len() > 0 && rng.Intn(3) == 0 {
+				q.Step() // pops the minimum and runs its closure
+				continue
+			}
+			at := q.Now() + Time(rng.Intn(50))
+			r := rec{at, n}
+			n++
+			scheduled = append(scheduled, r)
+			q.At(at, func() { popped = append(popped, r) })
+		}
+		q.Run()
+		sort.Slice(scheduled, func(i, j int) bool {
+			if scheduled[i].at != scheduled[j].at {
+				return scheduled[i].at < scheduled[j].at
+			}
+			return scheduled[i].seq < scheduled[j].seq
+		})
+		if len(popped) != len(scheduled) {
+			t.Fatalf("trial %d: popped %d of %d events", trial, len(popped), len(scheduled))
+		}
+		for i := range scheduled {
+			if popped[i] != scheduled[i] {
+				t.Fatalf("trial %d: pop %d = %+v, reference sort has %+v",
+					trial, i, popped[i], scheduled[i])
+			}
+		}
 	}
 }
 

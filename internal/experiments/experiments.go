@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -158,13 +159,13 @@ func RunMatrix(workloads []string, labels []Label, o Options) (*Matrix, error) {
 		}
 	}
 	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
+		mu   sync.Mutex
+		errs = make([]error, len(todo)) // one slot per cell, in grid order
+		wg   sync.WaitGroup
 	)
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for _, c := range todo {
-		c := c
+	for i, c := range todo {
+		i, c := i, c
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
@@ -173,24 +174,36 @@ func RunMatrix(workloads []string, labels []Label, o Options) (*Matrix, error) {
 			res, err := RunOne(c.w, c.l, o)
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
+			errs[i] = err
 			m.cells[c.w][c.l] = res
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	// Report every failed cell, not just the first: a grid-wide pathology
+	// (one workload failing under every protocol, say) should be visible in
+	// one error. The matrix is still returned so callers can render the
+	// cells that did succeed; rendering skips failed cells.
+	if err := errors.Join(errs...); err != nil {
+		return m, err
 	}
 	return m, nil
+}
+
+// ok reports whether the (w, l) cell ran and succeeded.
+func (m *Matrix) ok(w string, l Label) bool {
+	res, present := m.cells[w][l]
+	return present && !res.Failed()
 }
 
 // Get returns the cell for (workload, label).
 func (m *Matrix) Get(w string, l Label) machine.Result { return m.cells[w][l] }
 
-// Normalized returns label's execution time divided by base's.
+// Normalized returns label's execution time divided by base's, or 0 when
+// either cell failed.
 func (m *Matrix) Normalized(w string, l, base Label) float64 {
+	if !m.ok(w, l) || !m.ok(w, base) {
+		return 0
+	}
 	b := m.cells[w][base].ExecTime
 	if b == 0 {
 		return 0
@@ -212,6 +225,10 @@ func (m *Matrix) Table(title string, base Label) stats.Table {
 	for _, w := range m.Workloads {
 		row := []string{w}
 		for _, l := range m.Labels {
+			if !m.ok(w, l) {
+				row = append(row, "-") // cell's simulation failed
+				continue
+			}
 			row = append(row, stats.Norm(m.Normalized(w, l, base)))
 		}
 		t.AddRow(row...)
@@ -246,6 +263,9 @@ func (m *Matrix) Chart(title string, base Label) stats.BarChart {
 	for _, w := range m.Workloads {
 		g := stats.BarGroup{Label: w}
 		for _, l := range m.Labels {
+			if !m.ok(w, l) {
+				continue // failed cell: no bar
+			}
 			res := m.cells[w][l]
 			total := float64(res.Breakdown.Total())
 			bar := stats.Bar{Label: string(l), Value: m.Normalized(w, l, base)}
@@ -286,6 +306,10 @@ func (m *Matrix) BreakdownTable(w string) stats.Table {
 		row := []string{c.String()}
 		nonzero := false
 		for _, l := range m.Labels {
+			if !m.ok(w, l) {
+				row = append(row, "-")
+				continue
+			}
 			v := float64(m.cells[w][l].Breakdown.Cycles[c]) / base
 			if v != 0 {
 				nonzero = true

@@ -102,7 +102,10 @@ type Result struct {
 	// FIFODisplacements sums, across nodes, the self-invalidations forced
 	// early by a finite FIFO mechanism (zero for flush-at-sync).
 	FIFODisplacements int64
-	Errors            []string
+	// Kernel reports event-kernel counters for the full run (events
+	// executed, peak queue depth, allocations avoided by the typed paths).
+	Kernel stats.Kernel
+	Errors []string
 }
 
 // Failed reports whether the run recorded any protocol, kernel, audit, or
@@ -265,6 +268,14 @@ func (m *Machine) Run(prog Program) Result {
 		if f, ok := m.ccs[i].Mechanism().(*core.FIFO); ok {
 			res.FIFODisplacements += f.Displacements
 		}
+	}
+	qs := m.q.Stats()
+	res.Kernel = stats.Kernel{
+		Events:           qs.Executed,
+		Scheduled:        qs.Scheduled,
+		PeakQueue:        qs.PeakLen,
+		TypedEvents:      qs.Typed,
+		PooledDeliveries: m.net.Recycled(),
 	}
 	for _, err := range check.Audit(m.ccs, m.dcs, m.net.InFlight()) {
 		res.Errors = append(res.Errors, "audit: "+err.Error())

@@ -169,7 +169,48 @@ type Network struct {
 	handlers []Handler
 	counts   Counts
 	inflight int
+
+	// free is the delivery-record free list. A simulation is single-threaded
+	// (everything runs inside the event loop), so a plain stack suffices; in
+	// steady state every Send reuses a record and allocates nothing.
+	free     []*delivery
+	recycled uint64
 }
+
+// delivery is a pooled in-flight message record: the typed event argument
+// that replaces a per-send closure.
+type delivery struct {
+	net *Network
+	msg Message
+}
+
+// deliver is the static delivery action shared by every in-flight message.
+func deliver(arg any) {
+	d := arg.(*delivery)
+	n := d.net
+	m := d.msg
+	n.inflight--
+	// Recycle before the handler runs: the handler may Send and reuse the
+	// record immediately; m is already a copy.
+	d.msg = Message{}
+	n.free = append(n.free, d)
+	n.handlers[m.Dst](m)
+}
+
+// getDelivery pops a pooled record or allocates the pool's next one.
+func (n *Network) getDelivery() *delivery {
+	if len(n.free) > 0 {
+		d := n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
+		n.recycled++
+		return d
+	}
+	return &delivery{net: n}
+}
+
+// Recycled returns the number of delivery records reused from the free list
+// (allocations avoided), for kernel observability.
+func (n *Network) Recycled() uint64 { return n.recycled }
 
 // New builds a network. Handlers start nil; the machine must register one
 // per node before any traffic flows.
@@ -233,10 +274,9 @@ func (n *Network) Send(m Message) event.Time {
 		n.counts.ByKind[m.Kind]++
 	}
 	n.inflight++
-	n.q.At(arrive, func() {
-		n.inflight--
-		h(m)
-	})
+	d := n.getDelivery()
+	d.msg = m
+	n.q.AtCall(arrive, deliver, d)
 	return arrive
 }
 

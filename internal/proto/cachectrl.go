@@ -117,7 +117,69 @@ type CacheCtrl struct {
 	stalled []pendingStore
 	drain   []func()
 
+	// Free lists for the hot-path records (single-threaded per machine):
+	// retired MSHRs, retired write-buffer entries, and the typed-event
+	// records that replace the per-miss and per-flush closures.
+	msFree    []*mshr
+	wbFree    []*wbEntry
+	sendFree  []*sendCall
+	flushFree []*flushCall
+
 	stats CacheStats
+}
+
+// sendCall is a pooled record carrying a request message across the cache
+// controller occupancy delay (the typed event argument replacing the
+// closure in issueMiss).
+type sendCall struct {
+	cc  *CacheCtrl
+	msg netsim.Message
+}
+
+// doSendCall is the static action for deferred request injection.
+func doSendCall(arg any) {
+	c := arg.(*sendCall)
+	cc, m := c.cc, c.msg
+	c.msg = netsim.Message{}
+	cc.sendFree = append(cc.sendFree, c)
+	cc.send(m)
+}
+
+// flushCall is a pooled record resuming the processor after a sync-point
+// self-invalidation flush.
+type flushCall struct {
+	cc   *CacheCtrl
+	cont func(Result)
+}
+
+// doFlushCall is the static action completing SyncFlush; it fires exactly
+// at the resume time, so Done is the current clock.
+func doFlushCall(arg any) {
+	c := arg.(*flushCall)
+	cc, cont := c.cc, c.cont
+	c.cont = nil
+	cc.flushFree = append(cc.flushFree, c)
+	cont(Result{Done: cc.env.Q.Now()})
+}
+
+// newMshr takes an MSHR from the free list (or allocates one) and
+// initializes it to init.
+func (cc *CacheCtrl) newMshr(init mshr) *mshr {
+	if n := len(cc.msFree); n > 0 {
+		ms := cc.msFree[n-1]
+		cc.msFree = cc.msFree[:n-1]
+		*ms = init
+		return ms
+	}
+	ms := new(mshr)
+	*ms = init
+	return ms
+}
+
+// freeMshr recycles a retired MSHR. Callers must not touch ms afterwards.
+func (cc *CacheCtrl) freeMshr(ms *mshr) {
+	*ms = mshr{}
+	cc.msFree = append(cc.msFree, ms)
 }
 
 // NewCacheCtrl builds the cache controller for node with geometry geo.
@@ -188,7 +250,7 @@ func (cc *CacheCtrl) Read(a mem.Addr, cont func(Result)) {
 		// of the new request).
 	}
 	cc.stats.ReadMisses++
-	cc.issueMiss(b, &mshr{kind: opRead, cont: cont, start: now})
+	cc.issueMiss(b, cc.newMshr(mshr{kind: opRead, cont: cont, start: now}))
 }
 
 // Write performs a store. Under SC the processor stalls until completion;
@@ -206,7 +268,7 @@ func (cc *CacheCtrl) Write(a mem.Addr, st Store, cont func(Result)) {
 		return
 	}
 	cc.stats.WriteMisses++
-	cc.issueMiss(mem.BlockOf(a), &mshr{kind: opWrite, addr: a, st: st, cont: cont, start: now})
+	cc.issueMiss(mem.BlockOf(a), cc.newMshr(mshr{kind: opWrite, addr: a, st: st, cont: cont, start: now}))
 }
 
 // Swap atomically exchanges the word at a, returning the previous word. The
@@ -222,7 +284,7 @@ func (cc *CacheCtrl) Swap(a mem.Addr, newWord uint64, st Store, cont func(Result
 		return
 	}
 	cc.stats.SwapMisses++
-	cc.issueMiss(mem.BlockOf(a), &mshr{kind: opSwap, addr: a, st: st, cont: cont, start: now})
+	cc.issueMiss(mem.BlockOf(a), cc.newMshr(mshr{kind: opSwap, addr: a, st: st, cont: cont, start: now}))
 }
 
 // SyncFlush performs the DSI self-invalidation due at a synchronization
@@ -247,7 +309,15 @@ func (cc *CacheCtrl) SyncFlush(cont func(Result)) {
 	if free := cc.env.Net.NIFree(cc.node); free > resume {
 		resume = free
 	}
-	cc.env.Q.At(resume, func() { cont(Result{Done: resume}) })
+	var fc *flushCall
+	if n := len(cc.flushFree); n > 0 {
+		fc = cc.flushFree[n-1]
+		cc.flushFree = cc.flushFree[:n-1]
+	} else {
+		fc = &flushCall{cc: cc}
+	}
+	fc.cont = cont
+	cc.env.Q.AtCall(resume, doFlushCall, fc)
 }
 
 // DrainWB calls cont once every buffered write has been acknowledged (a
@@ -295,9 +365,15 @@ func (cc *CacheCtrl) issueMiss(b mem.Addr, ms *mshr) {
 		}
 	}
 	_, done := cc.server.Admit(cc.env.Q.Now(), CacheOccupancy)
-	cc.env.Q.At(done, func() {
-		cc.send(netsim.Message{Kind: kind, Dst: cc.home(b), Addr: b, Ver: ver, HasVer: hasVer})
-	})
+	var sc *sendCall
+	if n := len(cc.sendFree); n > 0 {
+		sc = cc.sendFree[n-1]
+		cc.sendFree = cc.sendFree[:n-1]
+	} else {
+		sc = &sendCall{cc: cc}
+	}
+	sc.msg = netsim.Message{Kind: kind, Dst: cc.home(b), Addr: b, Ver: ver, HasVer: hasVer}
+	cc.env.Q.AtCall(done, doSendCall, sc)
 }
 
 // install places an arriving block, emitting any displacement writeback.
@@ -399,11 +475,18 @@ func (cc *CacheCtrl) bufferStore(ps pendingStore) {
 
 func (cc *CacheCtrl) allocateEntry(b mem.Addr, ps pendingStore) {
 	now := cc.env.Q.Now()
-	e := &wbEntry{addr: b}
+	var e *wbEntry
+	if n := len(cc.wbFree); n > 0 {
+		e = cc.wbFree[n-1]
+		cc.wbFree = cc.wbFree[:n-1]
+		*e = wbEntry{addr: b, readWaiters: e.readWaiters[:0], blockedStores: e.blockedStores[:0]}
+	} else {
+		e = &wbEntry{addr: b}
+	}
 	e.coalesce(ps.addr, ps.st)
 	cc.entries[b] = e
 	cc.stats.WriteMisses++
-	cc.issueMiss(b, &mshr{kind: opWrite, addr: ps.addr, st: ps.st, start: ps.start})
+	cc.issueMiss(b, cc.newMshr(mshr{kind: opWrite, addr: ps.addr, st: ps.st, start: ps.start}))
 	ps.cont(Result{Done: now, WBFullWait: now - ps.start})
 }
 
@@ -427,6 +510,8 @@ func (cc *CacheCtrl) retire(e *wbEntry) {
 			w()
 		}
 	}
+	*e = wbEntry{}
+	cc.wbFree = append(cc.wbFree, e)
 }
 
 // --- network-facing handlers -------------------------------------------------
@@ -488,7 +573,9 @@ func (cc *CacheCtrl) onDataS(m netsim.Message) {
 	}
 	delete(cc.mshrs, b)
 	cc.install(b, cache.Shared, m)
-	ms.cont(Result{Done: cc.env.Q.Now(), InvWait: m.InvWait, Value: m.Data})
+	cont := ms.cont
+	cc.freeMshr(ms)
+	cont(Result{Done: cc.env.Q.Now(), InvWait: m.InvWait, Value: m.Data})
 	cc.postInstall(b, m)
 }
 
@@ -505,7 +592,9 @@ func (cc *CacheCtrl) onDataX(m netsim.Message) {
 		// A migratory exclusive grant answering a read: the block arrives
 		// writable in anticipation of the upgrade this processor would
 		// otherwise issue.
-		ms.cont(Result{Done: cc.env.Q.Now(), InvWait: m.InvWait, Value: m.Data})
+		cont := ms.cont
+		cc.freeMshr(ms)
+		cont(Result{Done: cc.env.Q.Now(), InvWait: m.InvWait, Value: m.Data})
 	} else {
 		cc.applyGrant(b, ms, m)
 	}
@@ -544,6 +633,7 @@ func (cc *CacheCtrl) applyGrant(b mem.Addr, ms *mshr, m netsim.Message) {
 	switch ms.kind {
 	case opWrite:
 		if cc.cfg.Consistency == WC {
+			cc.freeMshr(ms)
 			e := cc.entries[b]
 			if e == nil {
 				cc.env.fail("cache %d: WC write grant without wb entry for %#x", cc.node, uint64(b))
@@ -564,7 +654,9 @@ func (cc *CacheCtrl) applyGrant(b mem.Addr, ms *mshr, m netsim.Message) {
 			return
 		}
 		f.Data = ms.st.Merge(f.Data, ms.addr)
-		ms.cont(Result{Done: now, InvWait: m.InvWait})
+		cont := ms.cont
+		cc.freeMshr(ms)
+		cont(Result{Done: now, InvWait: m.InvWait})
 	case opSwap:
 		old := f.Data.WordAt(ms.addr)
 		prev := f.Data
@@ -578,7 +670,9 @@ func (cc *CacheCtrl) applyGrant(b mem.Addr, ms *mshr, m netsim.Message) {
 			cc.mshrs[b] = ms
 			return
 		}
-		ms.cont(res)
+		cont := ms.cont
+		cc.freeMshr(ms)
+		cont(res)
 	}
 }
 
@@ -596,7 +690,9 @@ func (cc *CacheCtrl) onFinalAck(m netsim.Message) {
 		delete(cc.mshrs, b)
 		res := ms.res
 		res.Done = cc.env.Q.Now()
-		ms.cont(res)
+		cont := ms.cont
+		cc.freeMshr(ms)
+		cont(res)
 		return
 	}
 	cc.env.fail("cache %d: stray FinalAck for %#x", cc.node, uint64(b))

@@ -80,7 +80,30 @@ type DirCtrl struct {
 	busy  map[mem.Addr]*txn
 	queue map[mem.Addr][]netsim.Message
 
+	// calls is the free list of pooled admit→process dispatch records; see
+	// dirCall. Single-threaded per machine, so a plain stack suffices.
+	calls []*dirCall
+	// txns is the free list of completed transaction records.
+	txns []*txn
+
 	stats DirStats
+}
+
+// dirCall is a pooled record carrying one admitted request across the
+// directory-occupancy delay — the typed event argument that replaces the
+// per-request closure in admit.
+type dirCall struct {
+	dc *DirCtrl
+	m  netsim.Message
+}
+
+// processCall is the static action for admitted requests.
+func processCall(arg any) {
+	c := arg.(*dirCall)
+	dc, m := c.dc, c.m
+	c.m = netsim.Message{}
+	dc.calls = append(dc.calls, c)
+	dc.process(m)
 }
 
 // NewDirCtrl builds the directory controller for home node.
@@ -116,6 +139,20 @@ func (dc *DirCtrl) send(m netsim.Message) {
 	dc.env.Net.Send(m)
 }
 
+// newTxn takes a transaction record from the free list (or allocates one)
+// and initializes it to init.
+func (dc *DirCtrl) newTxn(init txn) *txn {
+	if n := len(dc.txns); n > 0 {
+		t := dc.txns[n-1]
+		dc.txns = dc.txns[:n-1]
+		*t = init
+		return t
+	}
+	t := new(txn)
+	*t = init
+	return t
+}
+
 // Handle dispatches one incoming message. It is the node's network handler
 // for directory-bound kinds.
 func (dc *DirCtrl) Handle(m netsim.Message) {
@@ -145,7 +182,15 @@ func (dc *DirCtrl) Handle(m netsim.Message) {
 // processes it (or queues it behind a busy block).
 func (dc *DirCtrl) admit(m netsim.Message) {
 	_, done := dc.server.Admit(dc.env.Q.Now(), DirOccupancy)
-	dc.env.Q.At(done, func() { dc.process(m) })
+	var c *dirCall
+	if n := len(dc.calls); n > 0 {
+		c = dc.calls[n-1]
+		dc.calls = dc.calls[:n-1]
+	} else {
+		c = &dirCall{dc: dc}
+	}
+	c.m = m
+	dc.env.Q.AtCall(done, processCall, c)
 }
 
 func (dc *DirCtrl) process(m netsim.Message) {
@@ -198,12 +243,12 @@ func (dc *DirCtrl) processRead(m netsim.Message) {
 
 	if e.State == directory.Exclusive {
 		// Recall the owner's copy; reply once the data returns.
-		t := &txn{
+		t := dc.newTxn(txn{
 			req: m, isRead: true,
 			si: si, tearOff: tearOff, ver: ver, hasVer: hasVer,
 			needAcks: 1, ownerWas: e.Owner, prev: e.State,
 			procDone: dc.env.Q.Now(),
-		}
+		})
 		dc.busy[b] = t
 		dc.stats.Recalls++
 		dc.send(netsim.Message{Kind: netsim.Recall, Dst: e.Owner, Addr: b})
@@ -230,12 +275,12 @@ func (dc *DirCtrl) processRead(m netsim.Message) {
 				e.Sharers = e.Sharers.Remove(victim)
 				dc.stats.PointerOverflows++
 				dc.stats.Invalidates++
-				t := &txn{
+				t := dc.newTxn(txn{
 					req: m, isRead: true,
 					si: si, tearOff: false, ver: ver, hasVer: hasVer,
 					needAcks: 1, ownerWas: -1, prev: e.State,
 					procDone: dc.env.Q.Now(),
-				}
+				})
 				dc.busy[b] = t
 				dc.send(netsim.Message{Kind: netsim.Inv, Dst: victim, Addr: b})
 				return
@@ -267,12 +312,12 @@ func (dc *DirCtrl) processMigratoryRead(m netsim.Message, e *directory.Entry) {
 	e.ClearTearOff()
 	e.ReadersSinceWrite = 1 // this reader
 	if e.State == directory.Exclusive {
-		t := &txn{
+		t := dc.newTxn(txn{
 			req: m, si: si, ver: ver, hasVer: hasVer,
 			needAcks: 1, ownerWas: e.Owner, prev: e.State,
 			procDone:      dc.env.Q.Now(),
 			migratoryRead: true,
-		}
+		})
 		dc.busy[b] = t
 		dc.stats.Invalidates++
 		dc.send(netsim.Message{Kind: netsim.Inv, Dst: e.Owner, Addr: b})
@@ -326,21 +371,21 @@ func (dc *DirCtrl) processWrite(m netsim.Message) {
 		if e.Owner == m.Src {
 			dc.env.fail("dir %d: GetX from current owner %d for %#x", dc.node, m.Src, uint64(b))
 		}
-		t := &txn{
+		t := dc.newTxn(txn{
 			req: m, si: si, ver: ver, hasVer: hasVer,
 			needAcks: 1, ownerWas: e.Owner, prev: e.State,
 			procDone: dc.env.Q.Now(),
-		}
+		})
 		dc.busy[b] = t
 		dc.stats.Invalidates++
 		dc.send(netsim.Message{Kind: netsim.Inv, Dst: e.Owner, Addr: b})
 
 	case e.State.IsShared() && !others.Empty():
-		t := &txn{
+		t := dc.newTxn(txn{
 			req: m, upgrade: upgrade, si: si, ver: ver, hasVer: hasVer,
 			needAcks: others.Count(), ownerWas: -1, prev: e.State,
 			procDone: dc.env.Q.Now(),
-		}
+		})
 		dc.busy[b] = t
 		e.Sharers = 0
 		others.ForEach(func(n int) {
@@ -448,6 +493,8 @@ func (dc *DirCtrl) complete(t *txn) {
 		dc.reply(t, false)
 	}
 	delete(dc.busy, b)
+	*t = txn{}
+	dc.txns = append(dc.txns, t)
 	dc.dequeue(b)
 }
 

@@ -1,0 +1,108 @@
+package dsisim
+
+// Determinism guarantees of the event kernel. The simulator promises
+// bit-identical results for identical configurations: the event queue's
+// (time, seq) ordering is a total order, so neither the heap's internal
+// shape nor host scheduling can leak into results. These tests pin that
+// promise two ways: against golden values captured from the seed kernel
+// (the container/heap implementation this kernel replaced), and by running
+// the same configuration twice and comparing every observable field.
+
+import (
+	"testing"
+)
+
+// goldenRun is one (workload, protocol) cell's full observable outcome,
+// captured from the pre-rewrite seed kernel. Any divergence means the
+// rewritten queue or the pooled event paths changed simulation behavior —
+// a correctness bug, not a tuning difference.
+type goldenRun struct {
+	workload  string
+	protocol  Protocol
+	execTime  int64
+	totalTime int64
+	brkTotal  int64
+	msgs      int64
+	inval     int64
+	breakdown [10]int64 // compute, synch, read-inv, read-other, write-inv, write-other, synch-wb, read-wb, wb-full, dsi
+}
+
+var seedGolden = []goldenRun{
+	{"em3d", SC, 7465, 7565, 60520, 306, 122, [10]int64{8104, 18579, 94, 24893, 7705, 1145, 0, 0, 0, 0}},
+	{"em3d", V, 7496, 7596, 60768, 322, 92, [10]int64{8104, 20571, 94, 24889, 5829, 1143, 0, 0, 0, 138}},
+	{"em3d", WDSI, 6950, 7050, 56400, 276, 92, [10]int64{8104, 22523, 94, 25064, 0, 0, 590, 0, 0, 25}},
+	{"ocean", SC, 70402, 70654, 562406, 2864, 1402, [10]int64{14857, 231485, 4378, 159652, 138946, 13081, 0, 0, 0, 7}},
+	{"ocean", V, 57657, 57909, 460446, 2534, 952, [10]int64{14885, 191869, 4130, 146114, 91495, 11209, 0, 0, 0, 744}},
+	{"ocean", WDSI, 37322, 37507, 297766, 1429, 414, [10]int64{14922, 172718, 3672, 90526, 0, 0, 15668, 0, 0, 260}},
+}
+
+// TestKernelGoldenAgainstSeed runs each golden configuration and requires
+// bit-identical results to the seed kernel.
+func TestKernelGoldenAgainstSeed(t *testing.T) {
+	for _, g := range seedGolden {
+		g := g
+		t.Run(g.workload+"/"+string(g.protocol), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Workload: g.workload, Scale: ScaleTest, Protocol: g.protocol, Processors: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(res.ExecTime) != g.execTime {
+				t.Errorf("ExecTime = %d, seed kernel had %d", res.ExecTime, g.execTime)
+			}
+			if int64(res.TotalTime) != g.totalTime {
+				t.Errorf("TotalTime = %d, seed kernel had %d", res.TotalTime, g.totalTime)
+			}
+			if res.Breakdown.Total() != g.brkTotal {
+				t.Errorf("Breakdown.Total() = %d, seed kernel had %d", res.Breakdown.Total(), g.brkTotal)
+			}
+			if res.Messages.Total() != g.msgs {
+				t.Errorf("Messages.Total() = %d, seed kernel had %d", res.Messages.Total(), g.msgs)
+			}
+			if res.Messages.Invalidation() != g.inval {
+				t.Errorf("Messages.Invalidation() = %d, seed kernel had %d", res.Messages.Invalidation(), g.inval)
+			}
+			if res.Breakdown.Cycles != g.breakdown {
+				t.Errorf("Breakdown.Cycles = %v, seed kernel had %v", res.Breakdown.Cycles, g.breakdown)
+			}
+		})
+	}
+}
+
+// TestKernelRunTwiceIdentical runs one configuration twice on fresh machines
+// and requires every observable to match, including per-processor breakdowns
+// and kernel counters — the pooled free lists must not make a second run see
+// different state than a first.
+func TestKernelRunTwiceIdentical(t *testing.T) {
+	cfg := Config{Workload: "ocean", Scale: ScaleTest, Protocol: V, Processors: 8}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExecTime != b.ExecTime || a.TotalTime != b.TotalTime {
+		t.Errorf("times differ: run1 (%d, %d) vs run2 (%d, %d)",
+			a.ExecTime, a.TotalTime, b.ExecTime, b.TotalTime)
+	}
+	if a.Breakdown != b.Breakdown {
+		t.Errorf("breakdowns differ:\nrun1 %v\nrun2 %v", a.Breakdown.Cycles, b.Breakdown.Cycles)
+	}
+	for i := range a.PerProc {
+		if a.PerProc[i] != b.PerProc[i] {
+			t.Errorf("proc %d breakdowns differ:\nrun1 %v\nrun2 %v",
+				i, a.PerProc[i].Cycles, b.PerProc[i].Cycles)
+		}
+	}
+	if a.Messages != b.Messages {
+		t.Errorf("message counts differ:\nrun1 %+v\nrun2 %+v", a.Messages, b.Messages)
+	}
+	if a.Kernel != b.Kernel {
+		t.Errorf("kernel counters differ:\nrun1 %+v\nrun2 %+v", a.Kernel, b.Kernel)
+	}
+	if a.Kernel.Events == 0 || a.Kernel.AllocsAvoided() == 0 {
+		t.Errorf("kernel counters not populated: %+v", a.Kernel)
+	}
+}
