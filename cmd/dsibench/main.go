@@ -6,6 +6,7 @@
 //	dsibench [-experiment all|tab1|fig3|fig4|fig5|tab2|tab3|sweep] [-procs N] [-test]
 //	         [-cpuprofile f] [-memprofile f] [-trace f]
 //	         [-benchjson f]
+//	         [-blockstats workload] [-protocol label] [-cachebytes n]
 //
 // Output is plain text, one table per artifact, with execution times
 // normalized exactly as the paper reports them. Expect the full suite at
@@ -24,6 +25,16 @@
 // with:
 //
 //	go run ./cmd/dsibench -benchjson BENCH_kernel.json
+//
+// -blockstats runs one workload with the coherence-event sink attached and
+// prints the per-block lifetime metrics (time-in-state histograms,
+// premature-self-invalidation and echo-loss counters, transaction
+// latencies); see docs/OBSERVABILITY.md. -protocol picks the protocol and
+// -cachebytes shrinks the cache (echo losses are a frame-recycling
+// phenomenon). For example:
+//
+//	go run ./cmd/dsibench -blockstats ocean -protocol W+DSI -test
+//	go run ./cmd/dsibench -blockstats em3d -protocol V -cachebytes 32768
 package main
 
 import (
@@ -52,6 +63,9 @@ func main() {
 	benchjson := flag.String("benchjson", "", "benchmark the simulation kernel and write a JSON summary to this file instead of running experiments")
 	benchWorkload := flag.String("benchworkload", "em3d", "workload for -benchjson")
 	benchScale := flag.Bool("benchpaper", false, "run -benchjson at paper scale instead of test scale")
+	blockstats := flag.String("blockstats", "", "run this workload with the coherence-event sink and print block-lifetime metrics instead of running experiments")
+	protocol := flag.String("protocol", "V", "protocol label for -blockstats")
+	cacheBytes := flag.Int("cachebytes", 0, "cache size for -blockstats (0 = default 256 KiB)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -93,6 +107,13 @@ func main() {
 
 	if *benchjson != "" {
 		if err := runKernelBench(*benchjson, *benchWorkload, *procs, *benchScale); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *blockstats != "" {
+		if err := runBlockStats(*blockstats, *protocol, *procs, *cacheBytes, *testScale); err != nil {
 			fatal(err)
 		}
 		return
@@ -207,4 +228,29 @@ func probeProcs(n int) int {
 		return 32
 	}
 	return n
+}
+
+// runBlockStats simulates one workload with a coherence-event sink attached
+// and prints the derived block-lifetime metrics.
+func runBlockStats(wl, protocol string, procs, cacheBytes int, testScale bool) error {
+	scale := dsisim.ScalePaper
+	if testScale {
+		scale = dsisim.ScaleTest
+	}
+	sink := dsisim.NewCoherenceSink()
+	res, err := dsisim.Run(dsisim.Config{
+		Workload:   wl,
+		Scale:      scale,
+		Protocol:   dsisim.Protocol(protocol),
+		Processors: procs,
+		CacheBytes: cacheBytes,
+		Sink:       sink,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== block lifetimes: %s / %s, %d procs ===\n", wl, protocol, probeProcs(procs))
+	fmt.Printf("%d cycles simulated, %d coherence events\n\n", res.TotalTime, sink.Total())
+	fmt.Print(res.Blocks.Render())
+	return nil
 }

@@ -21,6 +21,15 @@
 // buffer), S (SC + DSI using additional states), V (SC + DSI using version
 // numbers), VFIFO (V with a 64-entry FIFO instead of flush-at-sync), and
 // WDSI (W + DSI with tear-off blocks).
+//
+// Any run can additionally record a protocol-level coherence trace: attach
+// a CoherenceSink via Config.Sink and the simulation emits one structured
+// event per protocol message, state transition, and self-invalidation,
+// derives per-block lifetime metrics onto Result.Blocks, and exports the
+// stream as Chrome trace_event JSON (CoherenceSink.WriteChrome) or
+// filtered text (CoherenceSink.WriteText). A nil sink costs nothing and
+// an attached sink never changes simulated timing; docs/OBSERVABILITY.md
+// documents the event schema.
 package dsisim
 
 import (
@@ -31,6 +40,7 @@ import (
 	"dsisim/internal/event"
 	"dsisim/internal/machine"
 	"dsisim/internal/mem"
+	"dsisim/internal/obs"
 	"dsisim/internal/proto"
 	"dsisim/internal/stats"
 	"dsisim/internal/workload"
@@ -156,10 +166,39 @@ type Config struct {
 	Seed uint64
 	// MaxSteps bounds simulation length (watchdog); 0 means default.
 	MaxSteps uint64
+	// Sink, if set, records the run's coherence-event stream and derives the
+	// Result's Blocks metrics (see NewCoherenceSink). A nil sink costs
+	// nothing: the simulation runs its usual allocation-free steady state.
+	Sink *CoherenceSink
 }
 
 // Result is the outcome of one simulation run.
 type Result = machine.Result
+
+// CoherenceSink records one structured event per protocol message, state
+// transition, self-invalidation, FIFO displacement, and tear-off grant, and
+// derives per-block lifetime metrics from the stream. Attach one via
+// Config.Sink, then export with WriteChrome (Chrome trace_event JSON for
+// chrome://tracing / Perfetto) or WriteText, or read Metrics. See
+// docs/OBSERVABILITY.md for the event schema.
+type CoherenceSink = obs.Sink
+
+// CoherenceEvent is one recorded coherence event.
+type CoherenceEvent = obs.Event
+
+// CoherenceFilter selects a subset of a recorded event stream for
+// CoherenceSink.WriteText.
+type CoherenceFilter = obs.Filter
+
+// BlockMetrics are the per-block lifetime metrics a CoherenceSink derives:
+// time-in-state histograms, premature-self-invalidation and echo-loss
+// counters, and transaction latencies.
+type BlockMetrics = obs.BlockMetrics
+
+// NewCoherenceSink builds an empty coherence-event sink with default
+// settings (unbounded recording, 400-cycle premature-self-invalidation
+// window).
+func NewCoherenceSink() *CoherenceSink { return obs.NewSink(obs.Config{}) }
 
 // Program is a custom workload; see the Proc API in internal/cpu for the
 // kernel-side operations (Read, Write, WriteWord, Swap, Compute, Lock,
@@ -210,6 +249,7 @@ func (c Config) machineConfig() (machine.Config, error) {
 		Policy:         pol,
 		Seed:           c.Seed,
 		MaxSteps:       c.MaxSteps,
+		Sink:           c.Sink,
 	}, nil
 }
 

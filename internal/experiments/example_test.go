@@ -1,0 +1,49 @@
+package experiments_test
+
+import (
+	"fmt"
+
+	"dsisim/internal/experiments"
+	"dsisim/internal/workload"
+)
+
+// RunOne simulates a single (workload, protocol) cell; the simulator is
+// deterministic, so the numbers below are exact and stable.
+func ExampleRunOne() {
+	o := experiments.Options{Processors: 8, Scale: workload.ScaleTest}
+	base, err := experiments.RunOne("em3d", experiments.SC, o)
+	if err != nil {
+		panic(err)
+	}
+	dsi, err := experiments.RunOne("em3d", experiments.V, o)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("SC: %d cycles\n", base.ExecTime)
+	fmt.Printf("V:  %d cycles\n", dsi.ExecTime)
+	fmt.Printf("V sent fewer invalidations: %v\n",
+		dsi.Messages.Invalidation() < base.Messages.Invalidation())
+	// Output:
+	// SC: 7465 cycles
+	// V:  7496 cycles
+	// V sent fewer invalidations: true
+}
+
+// RunMatrix runs a (workload × protocol) grid and exposes paper-style
+// normalized comparisons. Ocean is the paper's best case for DSI with
+// version numbers.
+func ExampleRunMatrix() {
+	o := experiments.Options{Processors: 8, Scale: workload.ScaleTest}
+	m, err := experiments.RunMatrix(
+		[]string{"ocean"},
+		[]experiments.Label{experiments.SC, experiments.V},
+		o,
+	)
+	if err != nil {
+		panic(err)
+	}
+	norm := m.Normalized("ocean", experiments.V, experiments.SC)
+	fmt.Printf("V runs at %.2f of SC's execution time\n", norm)
+	// Output:
+	// V runs at 0.82 of SC's execution time
+}

@@ -15,6 +15,7 @@ import (
 	"dsisim/internal/event"
 	"dsisim/internal/mem"
 	"dsisim/internal/netsim"
+	"dsisim/internal/obs"
 	"dsisim/internal/proto"
 	"dsisim/internal/stats"
 )
@@ -39,6 +40,11 @@ type Config struct {
 	// Tracer, if set, observes every operation each processor issues in
 	// program order (internal/trace records with it).
 	Tracer func(proc int, op cpu.TraceOp)
+	// Sink, if set, receives one coherence event per protocol message, state
+	// transition, self-invalidation, FIFO displacement, and tear-off grant,
+	// and derives the Result's Blocks metrics. Nil costs nothing (see
+	// DESIGN.md §6).
+	Sink *obs.Sink
 }
 
 // Defaults fills unset fields with the paper's configuration.
@@ -105,6 +111,9 @@ type Result struct {
 	// Kernel reports event-kernel counters for the full run (events
 	// executed, peak queue depth, allocations avoided by the typed paths).
 	Kernel stats.Kernel
+	// Blocks holds per-block lifetime metrics derived by the coherence-event
+	// sink; nil unless Config.Sink was set. Covers the full run.
+	Blocks *obs.BlockMetrics
 	Errors []string
 }
 
@@ -139,6 +148,10 @@ func New(cfg Config) *Machine {
 		CheckFail: func(format string, args ...any) {
 			m.fails = append(m.fails, fmt.Sprintf("t=%d: ", m.q.Now())+fmt.Sprintf(format, args...))
 		},
+	}
+	if cfg.Sink != nil {
+		m.env.Sink = cfg.Sink
+		m.net.SetObserver(cfg.Sink)
 	}
 	pcfg := proto.Config{
 		Consistency:        cfg.Consistency,
@@ -277,6 +290,7 @@ func (m *Machine) Run(prog Program) Result {
 		TypedEvents:      qs.Typed,
 		PooledDeliveries: m.net.Recycled(),
 	}
+	res.Blocks = m.cfg.Sink.Metrics() // nil-safe: nil sink, nil metrics
 	for _, err := range check.Audit(m.ccs, m.dcs, m.net.InFlight()) {
 		res.Errors = append(res.Errors, "audit: "+err.Error())
 	}

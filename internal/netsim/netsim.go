@@ -90,6 +90,13 @@ type Message struct {
 	Dst  int
 	Addr mem.Addr // block address
 
+	// Txn tags the message with the directory transaction it belongs to, for
+	// observability only: ids are drawn from a deterministic per-run counter
+	// at miss issue and echoed through replies, coherence actions, and acks.
+	// Unsolicited traffic (WB, Repl, SInvNotify, SInvWB) carries Txn 0. The
+	// protocol never branches on this field.
+	Txn uint64
+
 	Data mem.Value // block contents, for kinds with HasData
 
 	// Request annotations.
@@ -154,6 +161,17 @@ func (c Counts) Sub(o Counts) Counts {
 // Handler consumes a delivered message at its destination node.
 type Handler func(Message)
 
+// Observer receives a callback per message injection and delivery. It exists
+// so the observability layer (internal/obs) can watch traffic without this
+// package importing it; a nil observer costs one predictable branch per
+// send/delivery and zero allocations.
+type Observer interface {
+	// MsgSent fires inside Send, after the arrival time is computed.
+	MsgSent(now event.Time, m Message, arrive event.Time)
+	// MsgDelivered fires at delivery time, before the destination handler.
+	MsgDelivered(now event.Time, m Message)
+}
+
 // Config parameterizes a Network.
 type Config struct {
 	Nodes   int
@@ -169,6 +187,7 @@ type Network struct {
 	handlers []Handler
 	counts   Counts
 	inflight int
+	obs      Observer
 
 	// free is the delivery-record free list. A simulation is single-threaded
 	// (everything runs inside the event loop), so a plain stack suffices; in
@@ -194,6 +213,9 @@ func deliver(arg any) {
 	// record immediately; m is already a copy.
 	d.msg = Message{}
 	n.free = append(n.free, d)
+	if n.obs != nil {
+		n.obs.MsgDelivered(n.q.Now(), m)
+	}
 	n.handlers[m.Dst](m)
 }
 
@@ -231,6 +253,9 @@ func New(q *event.Queue, cfg Config) *Network {
 
 // SetHandler registers the delivery callback for node's incoming messages.
 func (n *Network) SetHandler(node int, h Handler) { n.handlers[node] = h }
+
+// SetObserver installs (or, with nil, removes) the traffic observer.
+func (n *Network) SetObserver(o Observer) { n.obs = o }
 
 // Nodes returns the node count.
 func (n *Network) Nodes() int { return len(n.nis) }
@@ -274,6 +299,9 @@ func (n *Network) Send(m Message) event.Time {
 		n.counts.ByKind[m.Kind]++
 	}
 	n.inflight++
+	if n.obs != nil {
+		n.obs.MsgSent(now, m, arrive)
+	}
 	d := n.getDelivery()
 	d.msg = m
 	n.q.AtCall(arrive, deliver, d)

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"dsisim/internal/cache"
+	"dsisim/internal/directory"
+	"dsisim/internal/netsim"
+)
+
+// WriteChrome exports the recorded stream as Chrome trace_event JSON (the
+// "JSON Object Format" with a traceEvents array), loadable in
+// chrome://tracing and Perfetto.
+//
+// Mapping (documented in docs/OBSERVABILITY.md):
+//
+//   - pid = node: each simulated node is one process, named "node N", so
+//     Perfetto renders one lane group per node.
+//   - tid 0 = the node's cache controller, tid 1 = its directory controller.
+//   - MsgSend/MsgRecv become complete ("X") slices on the sending/receiving
+//     controller's lane (requests and unsolicited traffic originate at the
+//     cache; coherence actions and replies at the directory). The send
+//     slice's duration is the NI injection occupancy.
+//   - Each delivered message gets a flow arrow ("s" at the send slice, "f"
+//     at the receive slice) so a transaction reads as a chain of arrows
+//     across lanes. Send/receive pairs are matched FIFO per (src, dst),
+//     which is exact because the simulated network is pairwise FIFO.
+//   - TxnStart/TxnEnd become async ("b"/"e") spans on the home node, id'd
+//     by transaction, so directory busy periods appear as duration bars.
+//   - State transitions, self-invalidations, FIFO displacements, and
+//     tear-off grants become instant ("i") events on the owning lane.
+//
+// Timestamps are simulated cycles written as microseconds (1 cycle = 1 us),
+// which preserves relative scale; absolute wall units are meaningless in a
+// cycle-accurate simulation. The output is deterministic for a
+// deterministic run, which the golden-file test pins.
+func (s *Sink) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	sep := ""
+	put := func(format string, args ...any) {
+		fmt.Fprintf(bw, "%s", sep)
+		fmt.Fprintf(bw, format, args...)
+		fmt.Fprintf(bw, "\n")
+		sep = ","
+	}
+	if s != nil {
+		for n := 0; n < s.nodes; n++ {
+			put(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"node %d"}}`, n, n)
+			put(`{"ph":"M","pid":%d,"tid":0,"name":"thread_name","args":{"name":"cache"}}`, n)
+			put(`{"ph":"M","pid":%d,"tid":1,"name":"thread_name","args":{"name":"directory"}}`, n)
+		}
+		// FIFO send/recv matching per (src, dst) ordered pair: flow ids are
+		// assigned at send time and popped at receive time.
+		type pair struct{ src, dst int32 }
+		pending := make(map[pair][]uint64)
+		var flowSeq uint64
+		s.ForEach(func(e *Event) {
+			switch e.Kind {
+			case MsgSend:
+				tid := dirLane(sentByDir(e.Msg))
+				dur := int64(netsim.InjectionTime(e.Msg))
+				if e.Flags&FlagLocal != 0 {
+					dur = 1
+				}
+				put(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":%q,"args":{"blk":"%#x","txn":%d,"to":%d}}`,
+					e.Node, tid, e.Cycle, dur, e.Msg.String(), uint64(e.Addr), e.Txn, e.Peer)
+				flowSeq++
+				p := pair{e.Node, e.Peer}
+				pending[p] = append(pending[p], flowSeq)
+				put(`{"ph":"s","pid":%d,"tid":%d,"ts":%d,"cat":"msg","id":%d,"name":%q}`,
+					e.Node, tid, e.Cycle, flowSeq, e.Msg.String())
+			case MsgRecv:
+				tid := dirLane(!sentByDir(e.Msg))
+				put(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":1,"name":%q,"args":{"blk":"%#x","txn":%d,"from":%d}}`,
+					e.Node, tid, e.Cycle, e.Msg.String()+" recv", uint64(e.Addr), e.Txn, e.Peer)
+				p := pair{e.Peer, e.Node}
+				if q := pending[p]; len(q) > 0 {
+					id := q[0]
+					pending[p] = q[1:]
+					put(`{"ph":"f","bp":"e","pid":%d,"tid":%d,"ts":%d,"cat":"msg","id":%d,"name":%q}`,
+						e.Node, tid, e.Cycle, id, e.Msg.String())
+				}
+			case CacheState:
+				put(`{"ph":"i","s":"t","pid":%d,"tid":0,"ts":%d,"name":%q,"args":{"blk":"%#x","txn":%d}}`,
+					e.Node, e.Cycle,
+					fmt.Sprintf("%s>%s", cache.State(e.Old), cache.State(e.New)),
+					uint64(e.Addr), e.Txn)
+			case DirState:
+				put(`{"ph":"i","s":"t","pid":%d,"tid":1,"ts":%d,"name":%q,"args":{"blk":"%#x","txn":%d}}`,
+					e.Node, e.Cycle,
+					fmt.Sprintf("%s>%s", directory.State(e.Old), directory.State(e.New)),
+					uint64(e.Addr), e.Txn)
+			case SelfInval, FIFODisplace:
+				put(`{"ph":"i","s":"t","pid":%d,"tid":0,"ts":%d,"name":%q,"args":{"blk":"%#x","was":%q}}`,
+					e.Node, e.Cycle, e.Kind.String(), uint64(e.Addr), cache.State(e.Old).String())
+			case TearOffGrant:
+				put(`{"ph":"i","s":"t","pid":%d,"tid":1,"ts":%d,"name":"tear-off grant","args":{"blk":"%#x","to":%d,"txn":%d}}`,
+					e.Node, e.Cycle, uint64(e.Addr), e.Peer, e.Txn)
+			case TxnStart:
+				put(`{"ph":"b","pid":%d,"tid":1,"ts":%d,"cat":"txn","id":%d,"name":%q,"args":{"blk":"%#x","from":%d}}`,
+					e.Node, e.Cycle, e.Txn,
+					fmt.Sprintf("txn %s %#x", e.Msg, uint64(e.Addr)), uint64(e.Addr), e.Peer)
+			case TxnEnd:
+				put(`{"ph":"e","pid":%d,"tid":1,"ts":%d,"cat":"txn","id":%d,"name":%q}`,
+					e.Node, e.Cycle, e.Txn,
+					fmt.Sprintf("txn end %#x", uint64(e.Addr)))
+			}
+		})
+	}
+	fmt.Fprintf(bw, "]}\n")
+	return bw.Flush()
+}
+
+// sentByDir reports whether messages of kind k originate at a directory
+// controller (coherence actions and replies) rather than a cache controller
+// (requests, acks, and unsolicited traffic).
+func sentByDir(k netsim.Kind) bool {
+	switch k {
+	case netsim.Inv, netsim.Recall, netsim.DataS, netsim.DataX, netsim.AckX, netsim.FinalAck:
+		return true
+	}
+	return false
+}
+
+// dirLane maps the "is this the directory's lane" bit to a tid.
+func dirLane(dir bool) int {
+	if dir {
+		return 1
+	}
+	return 0
+}

@@ -6,6 +6,7 @@ import (
 	"dsisim/internal/event"
 	"dsisim/internal/mem"
 	"dsisim/internal/netsim"
+	"dsisim/internal/obs"
 )
 
 type opKind int
@@ -297,6 +298,9 @@ func (cc *CacheCtrl) SyncFlush(cont func(Result)) {
 	evs := cc.mech.OnSync(cc.c)
 	resume := now + event.Time(cc.mech.ScanLatency(cc.c, len(evs)))
 	for _, ev := range evs {
+		if sk := cc.env.Sink; sk != nil {
+			sk.OnSelfInval(now, cc.node, ev.Addr, ev.State, ev.TearOff, false)
+		}
 		if ev.TearOff {
 			if r := now + TearOffFlash; r > resume {
 				resume = r
@@ -338,7 +342,10 @@ func (cc *CacheCtrl) issueMiss(b mem.Addr, ms *mshr) {
 	// observe new values, so its reads order legally before the conflicting
 	// write.
 	if cc.scTear != 0 {
-		cc.c.Invalidate(cc.scTear) // untracked: silent
+		ev, had := cc.c.Invalidate(cc.scTear) // untracked: silent
+		if sk := cc.env.Sink; sk != nil && had {
+			sk.OnCacheState(cc.env.Q.Now(), cc.node, cc.scTear, 0, ev.State, cache.Invalid, obs.FlagTearOff)
+		}
 		cc.scTear = 0
 	}
 	if _, dup := cc.mshrs[b]; dup {
@@ -372,15 +379,45 @@ func (cc *CacheCtrl) issueMiss(b mem.Addr, ms *mshr) {
 	} else {
 		sc = &sendCall{cc: cc}
 	}
-	sc.msg = netsim.Message{Kind: kind, Dst: cc.home(b), Addr: b, Ver: ver, HasVer: hasVer}
+	// Transaction ids are drawn unconditionally: the counter advances with
+	// the protocol's own deterministic order, so ids are stable run to run
+	// whether or not a sink is attached (and cost nothing either way).
+	sc.msg = netsim.Message{Kind: kind, Dst: cc.home(b), Addr: b, Ver: ver, HasVer: hasVer, Txn: cc.env.NextTxn()}
 	cc.env.Q.AtCall(done, doSendCall, sc)
 }
 
 // install places an arriving block, emitting any displacement writeback.
 func (cc *CacheCtrl) install(b mem.Addr, st cache.State, m netsim.Message) {
+	sk := cc.env.Sink
+	var old cache.State
+	if sk != nil {
+		if f, ok := cc.c.Peek(b); ok {
+			old = f.State
+		}
+	}
 	fill := cache.Fill{State: st, SI: m.SI, TearOff: m.TearOff, Ver: m.Ver, HasVer: m.HasVer, Data: m.Data}
 	if ev, evicted := cc.c.Install(b, fill); evicted {
+		if sk != nil {
+			var fl uint8
+			if ev.TearOff {
+				fl = obs.FlagTearOff
+			}
+			sk.OnCacheState(cc.env.Q.Now(), cc.node, ev.Addr, 0, ev.State, cache.Invalid, fl)
+		}
 		cc.evictionMessage(ev)
+	}
+	if sk != nil {
+		var fl uint8
+		if m.SI {
+			fl |= obs.FlagSI
+		}
+		if m.TearOff {
+			fl |= obs.FlagTearOff
+		}
+		if m.HasVer {
+			fl |= obs.FlagHasVer
+		}
+		sk.OnCacheState(cc.env.Q.Now(), cc.node, b, m.Txn, old, st, fl)
 	}
 	if m.SI {
 		cc.stats.SIReceived++
@@ -392,7 +429,10 @@ func (cc *CacheCtrl) install(b mem.Addr, st cache.State, m netsim.Message) {
 		// At most one tear-off copy per cache under SC: displace the old
 		// one (silently — it was never tracked).
 		if cc.scTear != 0 && cc.scTear != b {
-			cc.c.Invalidate(cc.scTear)
+			ev, had := cc.c.Invalidate(cc.scTear)
+			if sk != nil && had {
+				sk.OnCacheState(cc.env.Q.Now(), cc.node, cc.scTear, 0, ev.State, cache.Invalid, obs.FlagTearOff)
+			}
 		}
 		cc.scTear = b
 	}
@@ -417,6 +457,9 @@ func (cc *CacheCtrl) postInstall(b mem.Addr, m netsim.Message) {
 		return
 	}
 	for _, ev := range cc.mech.OnInstall(cc.c, b) {
+		if sk := cc.env.Sink; sk != nil {
+			sk.OnSelfInval(cc.env.Q.Now(), cc.node, ev.Addr, ev.State, ev.TearOff, true)
+		}
 		if !ev.TearOff {
 			cc.notifySelfInval(ev)
 		}
@@ -543,25 +586,31 @@ func (cc *CacheCtrl) onInv(m netsim.Message) {
 		cc.hist.OnInvalidate(b)
 	}
 	ev, had := cc.c.Invalidate(b)
+	if sk := cc.env.Sink; sk != nil && had {
+		sk.OnCacheState(cc.env.Q.Now(), cc.node, b, m.Txn, ev.State, cache.Invalid, 0)
+	}
 	// Acknowledge unconditionally: if the copy is gone, our replacement
 	// notice is already FIFO-ordered ahead of this ack.
 	if had && ev.State == cache.Exclusive {
-		cc.send(netsim.Message{Kind: netsim.InvAckData, Dst: m.Src, Addr: b, Data: ev.Data})
+		cc.send(netsim.Message{Kind: netsim.InvAckData, Dst: m.Src, Addr: b, Data: ev.Data, Txn: m.Txn})
 		return
 	}
-	cc.send(netsim.Message{Kind: netsim.InvAck, Dst: m.Src, Addr: b})
+	cc.send(netsim.Message{Kind: netsim.InvAck, Dst: m.Src, Addr: b, Txn: m.Txn})
 }
 
 func (cc *CacheCtrl) onRecall(m netsim.Message) {
 	cc.stats.RecallsRecv++
 	b := mem.BlockOf(m.Addr)
 	if data, ok := cc.c.Downgrade(b); ok {
-		cc.send(netsim.Message{Kind: netsim.RecallAck, Dst: m.Src, Addr: b, Data: data})
+		if sk := cc.env.Sink; sk != nil {
+			sk.OnCacheState(cc.env.Q.Now(), cc.node, b, m.Txn, cache.Exclusive, cache.Shared, 0)
+		}
+		cc.send(netsim.Message{Kind: netsim.RecallAck, Dst: m.Src, Addr: b, Data: data, Txn: m.Txn})
 		return
 	}
 	// Copy already written back or self-invalidated; the data is on its way
 	// to the home ahead of this ack.
-	cc.send(netsim.Message{Kind: netsim.InvAck, Dst: m.Src, Addr: b})
+	cc.send(netsim.Message{Kind: netsim.InvAck, Dst: m.Src, Addr: b, Txn: m.Txn})
 }
 
 func (cc *CacheCtrl) onDataS(m netsim.Message) {

@@ -239,6 +239,9 @@ func (dc *DirCtrl) processRead(m netsim.Message) {
 	if tearOff {
 		dc.stats.TearOffGrants++
 		e.NoteTearOffGrant()
+		if sk := dc.env.Sink; sk != nil {
+			sk.OnTearOffGrant(dc.env.Q.Now(), dc.node, b, m.Txn, m.Src)
+		}
 	}
 
 	if e.State == directory.Exclusive {
@@ -251,7 +254,10 @@ func (dc *DirCtrl) processRead(m netsim.Message) {
 		})
 		dc.busy[b] = t
 		dc.stats.Recalls++
-		dc.send(netsim.Message{Kind: netsim.Recall, Dst: e.Owner, Addr: b})
+		if sk := dc.env.Sink; sk != nil {
+			sk.OnTxnStart(dc.env.Q.Now(), dc.node, b, m.Txn, m.Src, m.Kind)
+		}
+		dc.send(netsim.Message{Kind: netsim.Recall, Dst: e.Owner, Addr: b, Txn: m.Txn})
 		return
 	}
 
@@ -261,6 +267,7 @@ func (dc *DirCtrl) processRead(m netsim.Message) {
 	// copy while the victim still holds a valid untracked one would let a
 	// subsequent write miss it, breaking coherence.
 	if e.State.IsShared() || e.State.IsIdle() {
+		prev := e.State
 		if !tearOff {
 			if e.Sharers.Has(m.Src) {
 				dc.env.fail("dir %d: GetS from existing sharer %d for %#x (state %v)", dc.node, m.Src, uint64(b), e.State)
@@ -282,14 +289,20 @@ func (dc *DirCtrl) processRead(m netsim.Message) {
 					procDone: dc.env.Q.Now(),
 				})
 				dc.busy[b] = t
-				dc.send(netsim.Message{Kind: netsim.Inv, Dst: victim, Addr: b})
+				if sk := dc.env.Sink; sk != nil {
+					sk.OnTxnStart(dc.env.Q.Now(), dc.node, b, m.Txn, m.Src, m.Kind)
+				}
+				dc.send(netsim.Message{Kind: netsim.Inv, Dst: victim, Addr: b, Txn: m.Txn})
 				return
 			}
 			e.Sharers = e.Sharers.Add(m.Src)
 			pol.ID().SetShared(e, si)
 		}
+		if sk := dc.env.Sink; sk != nil && e.State != prev {
+			sk.OnDirState(dc.env.Q.Now(), dc.node, b, m.Txn, prev, e.State)
+		}
 		dc.send(netsim.Message{
-			Kind: netsim.DataS, Dst: m.Src, Addr: b,
+			Kind: netsim.DataS, Dst: m.Src, Addr: b, Txn: m.Txn,
 			Data: dc.memory.Read(b), SI: si, TearOff: tearOff, Ver: ver, HasVer: hasVer,
 		})
 		return
@@ -320,14 +333,21 @@ func (dc *DirCtrl) processMigratoryRead(m netsim.Message, e *directory.Entry) {
 		})
 		dc.busy[b] = t
 		dc.stats.Invalidates++
-		dc.send(netsim.Message{Kind: netsim.Inv, Dst: e.Owner, Addr: b})
+		if sk := dc.env.Sink; sk != nil {
+			sk.OnTxnStart(dc.env.Q.Now(), dc.node, b, m.Txn, m.Src, m.Kind)
+		}
+		dc.send(netsim.Message{Kind: netsim.Inv, Dst: e.Owner, Addr: b, Txn: m.Txn})
 		return
 	}
 	// Idle flavors: grant immediately.
+	prev := e.State
 	e.State = directory.Exclusive
 	e.Owner = m.Src
 	e.LastOwner = m.Src
-	dc.sendGrant(m.Src, b, false, si, ver, hasVer, 0, false)
+	if sk := dc.env.Sink; sk != nil && e.State != prev {
+		sk.OnDirState(dc.env.Q.Now(), dc.node, b, m.Txn, prev, e.State)
+	}
+	dc.sendGrant(m.Src, b, false, si, ver, hasVer, 0, false, m.Txn)
 }
 
 func (dc *DirCtrl) processWrite(m netsim.Message) {
@@ -378,7 +398,10 @@ func (dc *DirCtrl) processWrite(m netsim.Message) {
 		})
 		dc.busy[b] = t
 		dc.stats.Invalidates++
-		dc.send(netsim.Message{Kind: netsim.Inv, Dst: e.Owner, Addr: b})
+		if sk := dc.env.Sink; sk != nil {
+			sk.OnTxnStart(dc.env.Q.Now(), dc.node, b, m.Txn, m.Src, m.Kind)
+		}
+		dc.send(netsim.Message{Kind: netsim.Inv, Dst: e.Owner, Addr: b, Txn: m.Txn})
 
 	case e.State.IsShared() && !others.Empty():
 		t := dc.newTxn(txn{
@@ -387,36 +410,47 @@ func (dc *DirCtrl) processWrite(m netsim.Message) {
 			procDone: dc.env.Q.Now(),
 		})
 		dc.busy[b] = t
+		if sk := dc.env.Sink; sk != nil {
+			sk.OnTxnStart(dc.env.Q.Now(), dc.node, b, m.Txn, m.Src, m.Kind)
+		}
 		e.Sharers = 0
 		others.ForEach(func(n int) {
 			dc.stats.Invalidates++
-			dc.send(netsim.Message{Kind: netsim.Inv, Dst: n, Addr: b})
+			dc.send(netsim.Message{Kind: netsim.Inv, Dst: n, Addr: b, Txn: m.Txn})
 		})
 		if dc.cfg.Consistency == WC {
 			// Grant in parallel with invalidation; FinalAck follows.
 			t.wcPending = true
+			prev := e.State
 			e.State = directory.Exclusive
 			e.Owner = m.Src
 			e.LastOwner = m.Src
+			if sk := dc.env.Sink; sk != nil {
+				sk.OnDirState(dc.env.Q.Now(), dc.node, b, m.Txn, prev, e.State)
+			}
 			dc.reply(t, true)
 		}
 
 	default:
 		// Idle flavors, or the requester is the lone sharer: grant now.
+		prev := e.State
 		e.Sharers = 0
 		e.State = directory.Exclusive
 		e.Owner = m.Src
 		e.LastOwner = m.Src
-		dc.sendGrant(m.Src, b, upgrade, si, ver, hasVer, 0, false)
+		if sk := dc.env.Sink; sk != nil && e.State != prev {
+			sk.OnDirState(dc.env.Q.Now(), dc.node, b, m.Txn, prev, e.State)
+		}
+		dc.sendGrant(m.Src, b, upgrade, si, ver, hasVer, 0, false, m.Txn)
 	}
 }
 
 // sendGrant emits the exclusive grant (DataX, or AckX for an upgrade whose
 // copy is still valid at the requester).
-func (dc *DirCtrl) sendGrant(dst int, b mem.Addr, upgrade, si bool, ver uint8, hasVer bool, invWait event.Time, pending bool) {
+func (dc *DirCtrl) sendGrant(dst int, b mem.Addr, upgrade, si bool, ver uint8, hasVer bool, invWait event.Time, pending bool, txnID uint64) {
 	kind := netsim.DataX
 	msg := netsim.Message{
-		Kind: kind, Dst: dst, Addr: b,
+		Kind: kind, Dst: dst, Addr: b, Txn: txnID,
 		SI: si, Ver: ver, HasVer: hasVer, InvWait: invWait, Pending: pending,
 	}
 	msg.Data = dc.memory.Read(b)
@@ -441,6 +475,7 @@ func (dc *DirCtrl) reply(t *txn, early bool) {
 	}
 	if t.isRead {
 		e := dc.dir.Entry(b)
+		prev := e.State
 		switch {
 		case !t.tearOff:
 			e.Sharers = e.Sharers.Add(t.req.Src)
@@ -454,14 +489,17 @@ func (dc *DirCtrl) reply(t *txn, early bool) {
 			// downgraded copy.
 			dc.cfg.Policy.ID().SetShared(e, t.si)
 		}
+		if sk := dc.env.Sink; sk != nil && e.State != prev {
+			sk.OnDirState(dc.env.Q.Now(), dc.node, b, t.req.Txn, prev, e.State)
+		}
 		dc.send(netsim.Message{
-			Kind: netsim.DataS, Dst: t.req.Src, Addr: b,
+			Kind: netsim.DataS, Dst: t.req.Src, Addr: b, Txn: t.req.Txn,
 			Data: dc.memory.Read(b), SI: t.si, TearOff: t.tearOff,
 			Ver: t.ver, HasVer: t.hasVer, InvWait: invWait,
 		})
 		return
 	}
-	dc.sendGrant(t.req.Src, b, t.upgrade, t.si, t.ver, t.hasVer, invWait, early)
+	dc.sendGrant(t.req.Src, b, t.upgrade, t.si, t.ver, t.hasVer, invWait, early, t.req.Txn)
 }
 
 // complete finishes a transaction once all acknowledgments are in.
@@ -481,16 +519,27 @@ func (dc *DirCtrl) complete(t *txn) {
 		dc.reply(t, false)
 	case t.wcPending:
 		if t.requesterDropped {
+			prev := e.State
 			pol := dc.cfg.Policy
 			pol.ID().SetIdle(e, core.CauseReplace, directory.Exclusive, t.si)
 			e.Owner = -1
+			if sk := dc.env.Sink; sk != nil && e.State != prev {
+				sk.OnDirState(dc.env.Q.Now(), dc.node, b, t.req.Txn, prev, e.State)
+			}
 		}
-		dc.send(netsim.Message{Kind: netsim.FinalAck, Dst: t.req.Src, Addr: b})
+		dc.send(netsim.Message{Kind: netsim.FinalAck, Dst: t.req.Src, Addr: b, Txn: t.req.Txn})
 	default:
+		prev := e.State
 		e.State = directory.Exclusive
 		e.Owner = t.req.Src
 		e.LastOwner = t.req.Src
+		if sk := dc.env.Sink; sk != nil && e.State != prev {
+			sk.OnDirState(dc.env.Q.Now(), dc.node, b, t.req.Txn, prev, e.State)
+		}
 		dc.reply(t, false)
+	}
+	if sk := dc.env.Sink; sk != nil {
+		sk.OnTxnEnd(dc.env.Q.Now(), dc.node, b, t.req.Txn, t.req.Src)
 	}
 	delete(dc.busy, b)
 	*t = txn{}
@@ -571,7 +620,11 @@ func (dc *DirCtrl) onWriteback(m netsim.Message, cause core.IdleCause) {
 	}
 	e.LastOwner = m.Src
 	e.Owner = -1
+	prev := e.State
 	dc.cfg.Policy.ID().SetIdle(e, cause, directory.Exclusive, m.SI)
+	if sk := dc.env.Sink; sk != nil && e.State != prev {
+		sk.OnDirState(dc.env.Q.Now(), dc.node, b, m.Txn, prev, e.State)
+	}
 }
 
 // onSharedDrop handles Repl/SInvNotify: a tracked shared copy disappearing
@@ -588,5 +641,8 @@ func (dc *DirCtrl) onSharedDrop(m netsim.Message, cause core.IdleCause) {
 	if e.Sharers.Empty() && dc.busy[b] == nil {
 		prev := e.State
 		dc.cfg.Policy.ID().SetIdle(e, cause, prev, m.SI)
+		if sk := dc.env.Sink; sk != nil && e.State != prev {
+			sk.OnDirState(dc.env.Q.Now(), dc.node, b, m.Txn, prev, e.State)
+		}
 	}
 }

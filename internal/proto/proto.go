@@ -26,6 +26,7 @@ import (
 	"dsisim/internal/event"
 	"dsisim/internal/mem"
 	"dsisim/internal/netsim"
+	"dsisim/internal/obs"
 )
 
 // Consistency selects the memory consistency model.
@@ -66,6 +67,23 @@ type Env struct {
 	// it to panic in tests and to error accumulation elsewhere. Never nil
 	// after machine assembly.
 	CheckFail func(format string, args ...any)
+
+	// Sink is the coherence-event sink, nil unless observability was
+	// requested. Controllers must guard every emission with a nil check so
+	// the disabled path stays branch-only (see DESIGN.md §6).
+	Sink *obs.Sink
+
+	// txnSeq is the transaction-id counter behind NextTxn.
+	txnSeq uint64
+}
+
+// NextTxn returns the next coherence transaction id. Ids start at 1 so that
+// 0 can mean "no transaction" on unsolicited messages. The counter advances
+// deterministically with the protocol's own event order, so ids are stable
+// run to run and carry no timing effect.
+func (e *Env) NextTxn() uint64 {
+	e.txnSeq++
+	return e.txnSeq
 }
 
 func (e *Env) fail(format string, args ...any) {

@@ -86,45 +86,86 @@ func (t *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read decodes a text trace.
+// MaxProcs bounds the processor count a trace header may declare; it matches
+// the simulator's 64-node directory limit (directory.NodeSet is a 64-bit
+// full map).
+const MaxProcs = 64
+
+// eventKinds are the operation kinds Write emits and Replay understands.
+var eventKinds = map[string]bool{
+	"read": true, "write": true, "swap": true, "compute": true,
+	"barrier": true, "unlock": true, "flush": true, "halt": true,
+}
+
+// Read decodes a text trace. Malformed input — a bad header, an out-of-range
+// processor, an unknown operation kind, a non-numeric field, or an event
+// count that disagrees with the header — is rejected with an error naming
+// the offending line, never a panic: replaying an unvalidated Proc or Procs
+// would index out of range deep inside the machine.
 func Read(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("trace: line 1: %w", err)
+		}
 		return nil, fmt.Errorf("trace: empty input")
 	}
 	var t Trace
 	var events int
 	if _, err := fmt.Sscanf(sc.Text(), "dsitrace %s procs=%d events=%d", &t.Workload, &t.Procs, &events); err != nil {
-		return nil, fmt.Errorf("trace: bad header %q: %w", sc.Text(), err)
+		return nil, fmt.Errorf("trace: line 1: bad header %q: %w", sc.Text(), err)
 	}
+	if t.Procs < 1 || t.Procs > MaxProcs {
+		return nil, fmt.Errorf("trace: line 1: procs=%d out of range [1, %d]", t.Procs, MaxProcs)
+	}
+	if events < 0 {
+		return nil, fmt.Errorf("trace: line 1: negative event count %d", events)
+	}
+	line := 1
 	for sc.Scan() {
+		line++
 		f := strings.Fields(sc.Text())
+		if len(f) == 0 {
+			continue // tolerate blank lines (e.g. a trailing newline)
+		}
 		if len(f) != 6 {
-			return nil, fmt.Errorf("trace: bad line %q", sc.Text())
+			return nil, fmt.Errorf("trace: line %d: want 6 fields, got %d in %q", line, len(f), sc.Text())
 		}
 		var e Event
 		var err error
 		if e.Proc, err = strconv.Atoi(f[0]); err != nil {
-			return nil, fmt.Errorf("trace: bad proc in %q", sc.Text())
+			return nil, fmt.Errorf("trace: line %d: bad proc %q", line, f[0])
+		}
+		if e.Proc < 0 || e.Proc >= t.Procs {
+			return nil, fmt.Errorf("trace: line %d: proc %d out of range [0, %d)", line, e.Proc, t.Procs)
 		}
 		e.Kind = f[1]
+		if !eventKinds[e.Kind] {
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", line, e.Kind)
+		}
 		a, err := strconv.ParseUint(f[2], 16, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: bad addr in %q", sc.Text())
+			return nil, fmt.Errorf("trace: line %d: bad addr %q", line, f[2])
 		}
 		e.Addr = mem.Addr(a)
 		if e.Word, err = strconv.ParseUint(f[3], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: bad word in %q", sc.Text())
+			return nil, fmt.Errorf("trace: line %d: bad word %q", line, f[3])
 		}
-		if e.Cycles, err = strconv.ParseInt(f[4], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: bad cycles in %q", sc.Text())
+		if e.Cycles, err = strconv.ParseInt(f[4], 10, 64); err != nil || e.Cycles < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad cycles %q", line, f[4])
 		}
-		e.Sync = f[5] == "1"
+		switch f[5] {
+		case "0":
+		case "1":
+			e.Sync = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad sync flag %q (want 0 or 1)", line, f[5])
+		}
 		t.Events = append(t.Events, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: line %d: %w", line+1, err)
 	}
 	if len(t.Events) != events {
 		return nil, fmt.Errorf("trace: header says %d events, read %d", events, len(t.Events))

@@ -77,6 +77,54 @@ func TestReadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadValidation exercises each rejection path and checks the error names
+// the offending line — the contract cmd/dsitrace relies on instead of letting
+// a malformed trace panic deep inside the machine.
+func TestReadValidation(t *testing.T) {
+	hdr := "dsitrace x procs=2 events=1\n"
+	cases := []struct {
+		name, in, want string
+	}{
+		{"procs zero", "dsitrace x procs=0 events=0\n", "line 1"},
+		{"procs over limit", "dsitrace x procs=65 events=0\n", "line 1"},
+		{"negative events", "dsitrace x procs=2 events=-1\n", "line 1"},
+		{"field count", hdr + "0 read 20 0 0\n", "line 2"},
+		{"proc not a number", hdr + "x read 20 0 0 0\n", "line 2"},
+		{"proc out of range", hdr + "2 read 20 0 0 0\n", "line 2"},
+		{"proc negative", hdr + "-1 read 20 0 0 0\n", "line 2"},
+		{"unknown kind", hdr + "0 jump 20 0 0 0\n", "line 2"},
+		{"bad addr", hdr + "0 read zz 0 0 0\n", "line 2"},
+		{"bad word", hdr + "0 read 20 x 0 0\n", "line 2"},
+		{"negative cycles", hdr + "0 compute 0 0 -5 0\n", "line 2"},
+		{"bad sync flag", hdr + "0 read 20 0 0 2\n", "line 2"},
+		{"error on later line", hdr + "0 read 20 0 0 0\n0 read 20 0 0 9\n", "line 3"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(c.in))
+			if err == nil {
+				t.Fatalf("accepted %q", c.in)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not name %s", err, c.want)
+			}
+		})
+	}
+}
+
+// TestReadToleratesBlankLines: a trailing newline (or blank separator lines)
+// must not fail the event-count check.
+func TestReadToleratesBlankLines(t *testing.T) {
+	in := "dsitrace x procs=2 events=2\n0 read 20 0 0 0\n\n1 write 40 7 0 0\n\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 2 || tr.Events[1].Proc != 1 || tr.Events[1].Word != 7 {
+		t.Fatalf("parsed %+v", tr.Events)
+	}
+}
+
 func TestReplayRuns(t *testing.T) {
 	tr, orig := record(t, "prodcons")
 	cfg := machine.Config{Processors: tr.Procs, Consistency: proto.SC}

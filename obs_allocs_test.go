@@ -1,0 +1,73 @@
+package dsisim
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestNilSinkAllocsUnchanged is the zero-overhead-when-nil regression gate:
+// with no coherence sink attached, a full simulation must allocate exactly
+// what BENCH_kernel.json records — the observability layer may not add a
+// single steady-state allocation to the hot path (DESIGN.md §6).
+func TestNilSinkAllocsUnchanged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement needs full runs")
+	}
+	data, err := os.ReadFile("BENCH_kernel.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline struct {
+		AllocsPerOp int64 `json:"allocs_per_op"`
+	}
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{Workload: "em3d", Scale: ScaleTest, Protocol: V, Processors: 8}
+	// One warm-up run, then measure: lazily-initialized runtime state (map
+	// growth inside pools, first-use scheduler structures) amortizes to zero
+	// and must not be charged to the steady state the baseline records.
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	const iters = 10
+	avg := testing.AllocsPerRun(iters, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if int64(avg) > baseline.AllocsPerOp {
+		t.Fatalf("nil-sink run allocates %.0f/op, baseline BENCH_kernel.json says %d — the obs layer leaked allocations onto the hot path",
+			avg, baseline.AllocsPerOp)
+	}
+}
+
+// TestSinkAttachedStillDeterministic double-checks the other half of the
+// contract from the facade level: attaching a sink records events without
+// changing simulated time.
+func TestSinkAttachedStillDeterministic(t *testing.T) {
+	cfg := Config{Workload: "em3d", Scale: ScaleTest, Protocol: V, Processors: 8}
+	bare, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sink = NewCoherenceSink()
+	obsd, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.TotalTime != obsd.TotalTime {
+		t.Fatalf("sink changed timing: %d != %d cycles", bare.TotalTime, obsd.TotalTime)
+	}
+	if cfg.Sink.Len() == 0 {
+		t.Fatal("sink recorded nothing")
+	}
+	if obsd.Blocks == nil || obsd.Blocks.Transactions == 0 {
+		t.Fatal("Result.Blocks metrics missing")
+	}
+	if bare.Blocks != nil {
+		t.Fatal("Result.Blocks set without a sink")
+	}
+}
