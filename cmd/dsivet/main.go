@@ -1,0 +1,102 @@
+// Command dsivet runs the simulator's repo-specific static checks over Go
+// package patterns, in the style of go vet:
+//
+//	go run ./cmd/dsivet ./...
+//	go run ./cmd/dsivet -list
+//	go run ./cmd/dsivet -run exhaustive,hotpath ./internal/proto
+//
+// The suite (see docs/ANALYSIS.md):
+//
+//	exhaustive   switches over protocol enums cover every constant or panic
+//	determinism  simulation packages avoid wall-clock, math/rand, map order,
+//	             and goroutines
+//	hotpath      //dsi:hotpath functions avoid allocating constructs
+//	obssink      obs.Sink emissions are dominated by nil-sink checks
+//
+// Exit status is 1 when any finding is reported, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dsisim/internal/analysis"
+	"dsisim/internal/analysis/determinism"
+	"dsisim/internal/analysis/exhaustive"
+	"dsisim/internal/analysis/hotpath"
+	"dsisim/internal/analysis/obssink"
+)
+
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		exhaustive.Default(),
+		determinism.Default(),
+		hotpath.Analyzer(),
+		obssink.Analyzer(),
+	}
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: dsivet [-list] [-run names] [packages]\n\nruns the dsisim static-check suite (default pattern ./...)\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := suite()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	analyzers := all
+	if *run != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dsivet: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	ld := analysis.NewLoader(".")
+	pkgs, err := ld.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsivet: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsivet: %v\n", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dsivet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

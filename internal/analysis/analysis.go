@@ -1,0 +1,132 @@
+// Package analysis is the simulator's static-analysis framework: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// model (Analyzer, Pass, Diagnostic) plus a package loader built on
+// `go list -export` and the standard library's export-data importer.
+//
+// The framework exists because the repo's three core contracts — protocol
+// state machines handle every enum value, simulation code is deterministic,
+// and the PR-1 hot paths stay allocation-free with nil-sink guards — are
+// otherwise enforced only at runtime by golden tests. The four repo-specific
+// analyzers under internal/analysis/{exhaustive,determinism,hotpath,obssink}
+// turn them into compile-time properties checked by `go run ./cmd/dsivet`.
+//
+// The container this repo builds in has no module proxy access, so the
+// framework deliberately depends only on the go toolchain and standard
+// library: packages are enumerated with `go list`, dependency types are read
+// from compiler export data (go/importer.ForCompiler), and analyzed packages
+// are type-checked from source. The API mirrors x/tools closely enough that
+// migrating to the upstream multichecker later is mechanical.
+//
+// docs/ANALYSIS.md documents each analyzer, the //dsi: directives, and how
+// to run the suite.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Analyzer is one static check. Run inspects a single type-checked package
+// through its Pass and reports findings via Pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in output and test expectations. It must
+	// be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description; the first line is the summary shown
+	// by `dsivet -list`.
+	Doc string
+	// Run performs the check.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package: shared position
+// information, the parsed files, the type-checked package and its use/def
+// maps, and the //dsi: directives collected from the package's syntax.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Directives holds the package's //dsi: annotations (hotpath, coldpath,
+	// anyorder). Never nil.
+	Directives *Directives
+	// Report delivers one diagnostic. Never nil.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if not found.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t := p.TypesInfo.TypeOf(e); t != nil {
+		return t
+	}
+	return nil
+}
+
+// Finding pairs a diagnostic with the analyzer that produced it, for driver
+// output.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers applies each analyzer to each package and returns all
+// findings sorted by file, line, column, and analyzer name.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Pkg,
+				TypesInfo:  pkg.Info,
+				Directives: pkg.Directives,
+			}
+			pass.Report = func(d Diagnostic) {
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return out, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

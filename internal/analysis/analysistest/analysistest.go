@@ -1,0 +1,112 @@
+// Package analysistest runs an analyzer over a testdata package and checks
+// its findings against // want "regexp" comments, mirroring the x/tools
+// package of the same name.
+//
+// A test package lives in a plain directory (conventionally testdata/a under
+// the analyzer's package); testdata trees are invisible to the go tool, so
+// deliberately-buggy fixtures never reach `go build ./...` or dsivet itself.
+// Each expected diagnostic is declared on the line it occurs:
+//
+//	fmt.Println(x) // want `fmt\.Println call in hot path`
+//
+// The comment takes one or more Go string literals (quoted or backquoted),
+// each a regexp that must match a distinct finding reported on that line.
+// Findings with no matching want comment, and want comments with no matching
+// finding, both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dsisim/internal/analysis"
+)
+
+// expectation is one want pattern at a file:line, unmatched until a finding
+// claims it.
+type expectation struct {
+	pos     string // "file.go:12"
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the package in dir, applies the analyzer, and reports any
+// mismatch between its findings and the want comments to t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	ld := analysis.NewLoader(dir)
+	pkg, err := ld.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	wants := collectWants(t, pkg)
+	findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, f := range findings {
+		key := posKey(f.Position)
+		claimed := false
+		for _, w := range wants {
+			if w.pos == key && !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected finding: %s", key, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no finding matched want %s", w.pos, w.raw)
+		}
+	}
+}
+
+func posKey(p token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// collectWants extracts the // want comments from the package's files.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := posKey(pkg.Fset.Position(c.Pos()))
+				for _, lit := range stringLiterals(text) {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %s: %v", pos, pat, err)
+					}
+					out = append(out, &expectation{pos: pos, re: re, raw: lit})
+				}
+			}
+		}
+	}
+	return out
+}
+
+var literalRe = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+// stringLiterals returns the Go string literals in s, in order.
+func stringLiterals(s string) []string {
+	return literalRe.FindAllString(s, -1)
+}

@@ -1,0 +1,22 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dsisim/internal/analysis/analysistest"
+	"dsisim/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := determinism.New(func(path string) bool { return path == "a" })
+	analysistest.Run(t, filepath.Join("testdata", "a"), a)
+}
+
+// TestNonSimPackageSkipped checks that the same fixture is accepted wholesale
+// when the package is not classified as simulation code.
+func TestNonSimPackageSkipped(t *testing.T) {
+	a := determinism.New(func(path string) bool { return false })
+	dir := filepath.Join("testdata", "skip")
+	analysistest.Run(t, dir, a)
+}

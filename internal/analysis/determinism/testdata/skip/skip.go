@@ -1,0 +1,14 @@
+// Fixture for TestNonSimPackageSkipped: nondeterminism that would be flagged
+// in a simulation package draws no findings when the package is out of scope.
+package skip
+
+import "time"
+
+func wallClock() time.Time {
+	return time.Now() // no want: package is not simulation code
+}
+
+func mapIter(m map[int]int) {
+	for range m {
+	}
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The framework recognizes three //dsi: directives, written like //go:
+// compiler directives (no space after the slashes, at the start of a comment
+// line):
+//
+//	//dsi:hotpath   on a function declaration: the hotpath analyzer flags
+//	                allocating constructs (closures, interface boxing, fmt
+//	                calls, un-capped appends to fresh slices) in its body.
+//	//dsi:coldpath  on a function declaration: calls to it are terminal
+//	                error paths (panic-or-record); the hotpath and
+//	                exhaustive analyzers treat a call to it like panic.
+//	//dsi:anyorder  on or immediately above a statement: the determinism
+//	                analyzer accepts the map iteration on that line; the
+//	                author asserts iteration order cannot reach simulation
+//	                state or output.
+const (
+	DirectiveHotpath  = "dsi:hotpath"
+	DirectiveColdpath = "dsi:coldpath"
+	DirectiveAnyorder = "dsi:anyorder"
+)
+
+// Directives is the per-package index of //dsi: annotations.
+type Directives struct {
+	// Hotpath holds the function declarations annotated //dsi:hotpath.
+	Hotpath map[*ast.FuncDecl]bool
+	// Coldpath holds the objects of functions annotated //dsi:coldpath
+	// (same-package resolution: the annotation must be in the analyzed
+	// package).
+	Coldpath map[types.Object]bool
+	// anyorder records, per file, the set of lines carrying a
+	// //dsi:anyorder comment.
+	anyorder map[*token.File]map[int]bool
+}
+
+// CollectDirectives scans the package's syntax for //dsi: directives.
+func CollectDirectives(fset *token.FileSet, files []*ast.File, info *types.Info) *Directives {
+	d := &Directives{
+		Hotpath:  make(map[*ast.FuncDecl]bool),
+		Coldpath: make(map[types.Object]bool),
+		anyorder: make(map[*token.File]map[int]bool),
+	}
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//"+DirectiveAnyorder) {
+					continue
+				}
+				if tf == nil {
+					continue
+				}
+				lines := d.anyorder[tf]
+				if lines == nil {
+					lines = make(map[int]bool)
+					d.anyorder[tf] = lines
+				}
+				lines[tf.Line(c.Pos())] = true
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				switch {
+				case strings.HasPrefix(c.Text, "//"+DirectiveHotpath):
+					d.Hotpath[fd] = true
+				case strings.HasPrefix(c.Text, "//"+DirectiveColdpath):
+					if info != nil && fd.Name != nil {
+						if obj := info.Defs[fd.Name]; obj != nil {
+							d.Coldpath[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Anyorder reports whether pos's line, or the line above it, carries a
+// //dsi:anyorder directive (so the waiver can sit on its own line above the
+// loop or trail the loop header).
+func (d *Directives) Anyorder(fset *token.FileSet, pos token.Pos) bool {
+	tf := fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	lines := d.anyorder[tf]
+	if lines == nil {
+		return false
+	}
+	l := tf.Line(pos)
+	return lines[l] || lines[l-1]
+}
+
+// IsColdCall reports whether call is panic(...) or a call to a function
+// annotated //dsi:coldpath, using the pass's type information.
+func IsColdCall(info *types.Info, dirs *Directives, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj := info.Uses[fun]
+		if b, ok := obj.(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+		return obj != nil && dirs.Coldpath[obj]
+	case *ast.SelectorExpr:
+		obj := info.Uses[fun.Sel]
+		return obj != nil && dirs.Coldpath[obj]
+	}
+	return false
+}

@@ -1,0 +1,184 @@
+// Package exhaustive checks that every switch over a protocol enum —
+// directory.State, cache.State, netsim.Kind, proto.Consistency, and any
+// other module-defined integer enumeration — either covers all of the enum's
+// constants or carries an explicit terminating default (panic or a call to a
+// //dsi:coldpath function such as proto.Env.fail).
+//
+// The DSI paper's four additional directory states make the protocol
+// transition tables easy to leave incomplete; a switch that silently falls
+// through on a state the author forgot is exactly the class of bug exhaustive
+// state checking catches (cf. the Tardis and "Mending Fences" verification
+// work cited in PAPERS.md). This analyzer is the cheap static version of
+// that guarantee.
+//
+// A type counts as an enum when it is a defined (non-alias) type, its
+// underlying type is an integer, it is declared in this module (or the
+// analyzed package itself), and at least two package-level constants of the
+// exact type exist. Constants whose names begin with "Num" are sentinels
+// (NumKinds, NumCategories) and are not required in the arms.
+package exhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dsisim/internal/analysis"
+)
+
+// New returns the analyzer. enumPkg reports whether an enum declared in the
+// package with the given import path is subject to the check; the analyzed
+// package's own enums are always subject.
+func New(enumPkg func(path string) bool) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "exhaustive",
+		Doc:  "switches over protocol enums must cover every constant or carry a panicking default",
+		Run:  func(pass *analysis.Pass) error { return run(pass, enumPkg) },
+	}
+}
+
+// Default returns the analyzer configured for this module: enums declared in
+// any dsisim package are checked.
+func Default() *analysis.Analyzer {
+	return New(func(path string) bool {
+		return path == "dsisim" || strings.HasPrefix(path, "dsisim/")
+	})
+}
+
+// enum describes one enumeration type's constant set.
+type enum struct {
+	typeName string
+	// members maps constant value (exact string representation) to the names
+	// declaring it, in declaration order so aliases defer to the original
+	// constant in messages. Sentinels are excluded.
+	members map[string][]member
+}
+
+type member struct {
+	name string
+	pos  token.Pos
+}
+
+// enumOf classifies the switch tag's type, returning nil when the type is
+// not a checked enum.
+func enumOf(pass *analysis.Pass, enumPkg func(string) bool, t types.Type) *enum {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	if pkg != pass.Pkg && !enumPkg(pkg.Path()) {
+		return nil
+	}
+	e := &enum{typeName: named.Obj().Name(), members: make(map[string][]member)}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Type() != t {
+			continue
+		}
+		if strings.HasPrefix(name, "Num") || strings.HasPrefix(name, "num") {
+			continue // sentinel bounding the enumeration
+		}
+		key := c.Val().ExactString()
+		e.members[key] = append(e.members[key], member{name, c.Pos()})
+	}
+	for _, ms := range e.members {
+		sort.Slice(ms, func(i, j int) bool { return ms[i].pos < ms[j].pos })
+	}
+	if len(e.members) < 2 {
+		return nil
+	}
+	return e
+}
+
+// terminatingDefault reports whether the default clause's body reaches
+// panic(...) or a //dsi:coldpath call, directly or inside nested statements.
+func terminatingDefault(pass *analysis.Pass, body []ast.Stmt) bool {
+	found := false
+	for _, st := range body {
+		ast.Inspect(st, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if analysis.IsColdCall(pass.TypesInfo, pass.Directives, call) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+func run(pass *analysis.Pass, enumPkg func(string) bool) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			t := pass.TypeOf(sw.Tag)
+			if t == nil {
+				return true
+			}
+			e := enumOf(pass, enumPkg, t)
+			if e == nil {
+				return true
+			}
+			covered := make(map[string]bool)
+			var defaultClause *ast.CaseClause
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					defaultClause = cc
+					continue
+				}
+				for _, expr := range cc.List {
+					tv, ok := pass.TypesInfo.Types[expr]
+					if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+						continue
+					}
+					covered[tv.Value.ExactString()] = true
+				}
+			}
+			var missing []string
+			for val, ms := range e.members {
+				if !covered[val] {
+					missing = append(missing, ms[0].name)
+				}
+			}
+			if len(missing) == 0 {
+				return true
+			}
+			if defaultClause != nil && terminatingDefault(pass, defaultClause.Body) {
+				return true
+			}
+			sort.Strings(missing)
+			what := "no default"
+			if defaultClause != nil {
+				what = "a silent default"
+			}
+			pass.Reportf(sw.Pos(),
+				"non-exhaustive switch over %s with %s: missing %s (add arms or a panicking default)",
+				e.typeName, what, strings.Join(missing, ", "))
+			return true
+		})
+	}
+	return nil
+}

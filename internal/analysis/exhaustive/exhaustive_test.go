@@ -1,0 +1,13 @@
+package exhaustive_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dsisim/internal/analysis/analysistest"
+	"dsisim/internal/analysis/exhaustive"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "a"), exhaustive.Default())
+}

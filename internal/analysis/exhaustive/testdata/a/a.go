@@ -1,0 +1,93 @@
+// Test fixture for the exhaustive analyzer: switches over a local enum in
+// every accepted and rejected shape.
+package a
+
+// State is a checked enum: defined type, integer underlying, >= 2 constants.
+type State int
+
+const (
+	Idle State = iota
+	Shared
+	Excl
+	NumStates // sentinel: bounds the enum, never required in arms
+)
+
+// Aliased shares Excl's value; covering either name covers the value.
+const Aliased = Excl
+
+// notEnum has a single constant, so it is not classified as an enum.
+type notEnum int
+
+const only notEnum = 0
+
+//dsi:coldpath
+func fail(msg string) {
+	panic(msg)
+}
+
+func allArms(s State) int { // ok: every constant covered
+	switch s {
+	case Idle:
+		return 0
+	case Shared:
+		return 1
+	case Excl:
+		return 2
+	}
+	return -1
+}
+
+func aliasArm(s State) int { // ok: Aliased covers Excl's value
+	switch s {
+	case Idle, Shared:
+		return 0
+	case Aliased:
+		return 1
+	}
+	return -1
+}
+
+func panickingDefault(s State) int { // ok: default terminates with panic
+	switch s {
+	case Idle:
+		return 0
+	default:
+		panic("unhandled state")
+	}
+}
+
+func coldpathDefault(s State) { // ok: default calls a //dsi:coldpath func
+	switch s {
+	case Idle:
+	default:
+		fail("unhandled state")
+	}
+}
+
+func missingArm(s State) {
+	switch s { // want `non-exhaustive switch over State with no default: missing Excl, Shared`
+	case Idle:
+	}
+}
+
+func silentDefault(s State) {
+	switch s { // want `non-exhaustive switch over State with a silent default: missing Excl`
+	case Idle, Shared:
+	default:
+	}
+}
+
+func notAnEnumSwitch(n int, ne notEnum) { // ok: int and 1-constant types are not enums
+	switch n {
+	case 0:
+	}
+	switch ne {
+	case only:
+	}
+}
+
+func tagless(s State) { // ok: tagless switches are condition chains, not enum dispatch
+	switch {
+	case s == Idle:
+	}
+}

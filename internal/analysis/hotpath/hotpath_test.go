@@ -1,0 +1,13 @@
+package hotpath_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dsisim/internal/analysis/analysistest"
+	"dsisim/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "a"), hotpath.Analyzer())
+}

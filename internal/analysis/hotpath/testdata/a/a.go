@@ -1,0 +1,68 @@
+// Test fixture for the hotpath analyzer: allocating constructs inside
+// //dsi:hotpath functions, with the coldpath/panic exemptions.
+package a
+
+import "fmt"
+
+type rec struct{ a, b int }
+
+//dsi:coldpath
+func fail(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}
+
+func sinkAny(v any)   { _ = v }
+func sinkPtr(v *rec)  { _ = v }
+func variadic(...any) {}
+func spread(vs []any) { variadic(vs...) }
+
+//dsi:hotpath
+func hot(r *rec, xs []int) {
+	f := func() int { return r.a } // want `closure in hot path`
+	_ = f
+	fmt.Println(r.a) // want `fmt\.Println call in hot path`
+	sinkAny(r.a)     // want `passing int as any boxes in hot path`
+	sinkAny(r)       // ok: pointers store directly in the interface word
+	sinkPtr(r)       // ok: no interface involved
+	variadic(r.b)    // want `passing int as any boxes in hot path`
+	variadic(r, r)   // ok: pointer-shaped variadic elements
+	var s []int
+	s = append(s, r.a) // want `append to s, a fresh un-capped slice, in hot path`
+	_ = s
+	t := make([]int, 0, 8)
+	t = append(t, r.a) // ok: capacity preallocated
+	_ = t
+	_ = append([]rec{}, *r) // want `append to a fresh un-capped slice in hot path`
+	_ = xs
+}
+
+//dsi:hotpath
+func hotSpread(vs []any) {
+	variadic(vs...) // ok: spread passes the slice through, no per-element boxing
+}
+
+//dsi:hotpath
+func hotConv(r rec) any {
+	return any(r) // want `conversion of a\.rec to interface boxes in hot path`
+}
+
+//dsi:hotpath
+func hotConvPtr(r *rec) any {
+	return any(r) // ok: pointer-shaped
+}
+
+//dsi:hotpath
+func hotColdExempt(r *rec) {
+	if r.b < 0 {
+		fail("bad rec %d", r.b) // ok: coldpath call, arguments exempt
+	}
+	if r.a < 0 {
+		panic(fmt.Sprintf("bad rec %d", r.a)) // ok: panic arguments exempt
+	}
+}
+
+func notHot(r *rec) { // ok: unannotated functions are not checked
+	fmt.Println(r.a)
+	_ = func() {}
+	sinkAny(r.a)
+}

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path (or a synthetic path for ad-hoc
+	// directories loaded by LoadDir).
+	Path string
+	// Dir is the directory holding the source files.
+	Dir string
+	// Fset is the file set shared by every package of one Load call.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression, def, and use maps.
+	Info *types.Info
+	// Directives indexes the package's //dsi: annotations.
+	Directives *Directives
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` with args in dir and decodes the JSON package stream.
+func goList(dir string, args ...string) ([]*listPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Loader loads and type-checks packages. Dependencies are imported from
+// compiler export data produced by `go list -export`, so only the analyzed
+// packages themselves are type-checked from source — the same pass model the
+// x/tools multichecker uses.
+type Loader struct {
+	// Dir is the directory `go list` runs in (any directory inside the
+	// module). Empty means the current directory.
+	Dir string
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	ld := &Loader{Dir: dir, fset: token.NewFileSet(), exports: make(map[string]string)}
+	ld.imp = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := ld.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+	return ld
+}
+
+// loadExports records export-data locations for the given patterns and their
+// full dependency closure, building them as needed.
+func (ld *Loader) loadExports(patterns []string) error {
+	if len(patterns) == 0 {
+		return nil
+	}
+	args := append([]string{"-e", "-export", "-json=ImportPath,Export", "-deps"}, patterns...)
+	pkgs, err := goList(ld.Dir, args...)
+	if err != nil {
+		return err
+	}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			ld.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// Load lists the packages matching patterns (skipping test binaries and
+// packages with no Go files), loads export data for their dependencies, and
+// type-checks each matched package from source.
+func (ld *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(ld.Dir, append([]string{"-json=ImportPath,Dir,GoFiles,Standard,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	if err := ld.loadExports(patterns); err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := ld.check(t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the non-test .go files of a single
+// directory that is not necessarily a listable package (e.g. an analyzer's
+// testdata tree). Imports are resolved through the module the loader is
+// rooted in, so testdata may import both standard-library and module
+// packages.
+func (ld *Loader) LoadDir(dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	// Parse first to learn the import set, then fetch export data for it.
+	parsed, err := ld.parse(files)
+	if err != nil {
+		return nil, err
+	}
+	var imports []string
+	seen := make(map[string]bool)
+	for _, f := range parsed {
+		for _, im := range f.Imports {
+			path := strings.Trim(im.Path.Value, `"`)
+			if path == "unsafe" || seen[path] {
+				continue
+			}
+			seen[path] = true
+			imports = append(imports, path)
+		}
+	}
+	if err := ld.loadExports(imports); err != nil {
+		return nil, err
+	}
+	name := parsed[0].Name.Name
+	return ld.checkParsed(name, dir, parsed)
+}
+
+func (ld *Loader) parse(files []string) ([]*ast.File, error) {
+	var out []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(ld.fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, af)
+	}
+	return out, nil
+}
+
+func (ld *Loader) check(path, dir string, files []string) (*Package, error) {
+	parsed, err := ld.parse(files)
+	if err != nil {
+		return nil, err
+	}
+	return ld.checkParsed(path, dir, parsed)
+}
+
+func (ld *Loader) checkParsed(path, dir string, parsed []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: ld.imp}
+	pkg, err := conf.Check(path, ld.fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:       path,
+		Dir:        dir,
+		Fset:       ld.fset,
+		Files:      parsed,
+		Pkg:        pkg,
+		Info:       info,
+		Directives: CollectDirectives(ld.fset, parsed, info),
+	}, nil
+}

@@ -1,0 +1,240 @@
+// Package obssink checks that every coherence-event emission into an
+// *obs.Sink is dominated by a nil-sink check, making PR 2's zero-overhead
+// contract (DESIGN.md §6) a compile-time property.
+//
+// Sink methods are nil-safe by construction, but the contract in
+// internal/obs requires emitting call sites to branch on the sink *before*
+// computing event arguments, so a machine built without observability runs
+// the exact allocation-free steady state PR 1 established. An unguarded
+// emission still computes and boxes its arguments on every call; this
+// analyzer catches the sites the obs_allocs_test.go golden would only catch
+// when the missed guard happens to sit on the benchmarked path.
+//
+// Accepted guard shapes (for receiver expression R, compared structurally,
+// or by object identity for plain identifiers):
+//
+//	if R != nil { ... R.OnFoo(...) ... }         // in-branch guard
+//	if sk := e.Sink; sk != nil { sk.OnFoo(...) } // bound guard
+//	if R == nil { return }; ...; R.OnFoo(...)    // early-exit dominator
+//
+// The early-exit form also accepts panic, continue, and break as the
+// terminating statement. The obs package itself is exempt (its methods
+// implement the nil-safety).
+package obssink
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dsisim/internal/analysis"
+)
+
+// obsPath is the import path of the sink package.
+const obsPath = "dsisim/internal/obs"
+
+// emissionMethods are the producer-side Sink methods that must be guarded.
+// Read-side methods (Events, Metrics, WriteText, Reset, ...) are nil-safe
+// queries and may be called bare.
+var emissionMethods = map[string]bool{
+	"MsgSent": true, "MsgDelivered": true,
+	"OnCacheState": true, "OnDirState": true, "OnSelfInval": true,
+	"OnTearOffGrant": true, "OnTxnStart": true, "OnTxnEnd": true,
+}
+
+// Analyzer is the obssink checker.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "obssink",
+		Doc:  "obs.Sink emission sites must be dominated by a nil-sink check",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == obsPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !emissionMethods[se.Sel.Name] {
+				return true
+			}
+			if !isSinkType(pass.TypeOf(se.X)) {
+				return true
+			}
+			if guarded(pass, parents, call, se.X) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"unguarded obs emission %s.%s; dominate it with a nil-sink check (if sink != nil { ... })",
+				types.ExprString(se.X), se.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// isSinkType reports whether t is *obs.Sink (or obs.Sink).
+func isSinkType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Sink" && obj.Pkg() != nil && obj.Pkg().Path() == obsPath
+}
+
+// parentMap indexes every node's parent within f.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// guarded reports whether the call at node is dominated by a nil check of
+// recv: an enclosing `if recv != nil` taken-branch, or an earlier
+// `if recv == nil { return/panic/continue/break }` in an enclosing block.
+func guarded(pass *analysis.Pass, parents map[ast.Node]ast.Node, node ast.Node, recv ast.Expr) bool {
+	child := ast.Node(node)
+	for n := parents[node]; n != nil; child, n = n, parents[n] {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if child == n.Body && condProvesNonNil(pass, n.Cond, recv) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if earlyExitGuard(pass, n.List, child, recv) {
+				return true
+			}
+		case *ast.CaseClause:
+			if earlyExitGuard(pass, n.Body, child, recv) {
+				return true
+			}
+		case *ast.CommClause:
+			if earlyExitGuard(pass, n.Body, child, recv) {
+				return true
+			}
+		case *ast.FuncLit, *ast.FuncDecl:
+			// A closure may run later, outside any guard that encloses its
+			// creation site; require the guard inside the function body.
+			return false
+		}
+	}
+	return false
+}
+
+// earlyExitGuard scans the statements before the one containing child for
+// `if recv == nil { ...terminator }`.
+func earlyExitGuard(pass *analysis.Pass, stmts []ast.Stmt, child ast.Node, recv ast.Expr) bool {
+	for _, st := range stmts {
+		if st == child {
+			return false
+		}
+		ifs, ok := st.(*ast.IfStmt)
+		if !ok || ifs.Else != nil {
+			continue
+		}
+		if !condIsNilCheck(pass, ifs.Cond, recv) || len(ifs.Body.List) == 0 {
+			continue
+		}
+		if terminates(ifs.Body.List[len(ifs.Body.List)-1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether st unconditionally leaves the enclosing
+// statement list.
+func terminates(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		ident, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && ident.Name == "panic"
+	}
+	return false
+}
+
+// condProvesNonNil reports whether cond (possibly an && conjunction)
+// contains the conjunct `recv != nil`.
+func condProvesNonNil(pass *analysis.Pass, cond ast.Expr, recv ast.Expr) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "&&":
+			return condProvesNonNil(pass, e.X, recv) || condProvesNonNil(pass, e.Y, recv)
+		case "!=":
+			return nilComparisonOf(pass, e, recv)
+		}
+	}
+	return false
+}
+
+// condIsNilCheck reports whether cond is exactly `recv == nil`.
+func condIsNilCheck(pass *analysis.Pass, cond ast.Expr, recv ast.Expr) bool {
+	e, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	return ok && e.Op.String() == "==" && nilComparisonOf(pass, e, recv)
+}
+
+// nilComparisonOf reports whether the comparison e has nil on one side and
+// an expression equal to recv on the other.
+func nilComparisonOf(pass *analysis.Pass, e *ast.BinaryExpr, recv ast.Expr) bool {
+	x, y := ast.Unparen(e.X), ast.Unparen(e.Y)
+	if isNil(pass, y) {
+		return sameExpr(pass, x, recv)
+	}
+	if isNil(pass, x) {
+		return sameExpr(pass, y, recv)
+	}
+	return false
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// sameExpr compares two expressions: by use-object identity for plain
+// identifiers (robust against shadowing), structurally otherwise.
+func sameExpr(pass *analysis.Pass, a, b ast.Expr) bool {
+	ai, aok := a.(*ast.Ident)
+	bi, bok := b.(*ast.Ident)
+	if aok != bok {
+		return false
+	}
+	if aok {
+		ao := pass.TypesInfo.Uses[ai]
+		bo := pass.TypesInfo.Uses[bi]
+		return ao != nil && ao == bo
+	}
+	return types.ExprString(a) == types.ExprString(b)
+}

@@ -1,0 +1,13 @@
+package obssink_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dsisim/internal/analysis/analysistest"
+	"dsisim/internal/analysis/obssink"
+)
+
+func TestObssink(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "a"), obssink.Analyzer())
+}

@@ -1,0 +1,95 @@
+// Test fixture for the obssink analyzer: emission sites against *obs.Sink in
+// guarded and unguarded shapes. The fixture imports the real obs package so
+// the method set and receiver type match production call sites.
+package a
+
+import (
+	"dsisim/internal/event"
+	"dsisim/internal/mem"
+	"dsisim/internal/obs"
+)
+
+type env struct {
+	sink *obs.Sink
+	now  event.Time
+}
+
+func (e *env) guardedBranch(b mem.Addr) {
+	if e.sink != nil {
+		e.sink.OnTxnEnd(e.now, 0, b, 1, 2) // ok: in-branch guard
+	}
+}
+
+func (e *env) guardedBound(b mem.Addr) {
+	if sk := e.sink; sk != nil {
+		sk.OnTxnEnd(e.now, 0, b, 1, 2) // ok: bound guard
+	}
+}
+
+func (e *env) guardedConjunct(b mem.Addr, hot bool) {
+	if hot && e.sink != nil {
+		e.sink.OnTxnEnd(e.now, 0, b, 1, 2) // ok: non-nil conjunct
+	}
+}
+
+func (e *env) guardedEarlyExit(b mem.Addr) {
+	sk := e.sink
+	if sk == nil {
+		return
+	}
+	sk.OnTxnStart(e.now, 0, b, 1, 2, 0) // ok: early-exit dominator
+	sk.OnTxnEnd(e.now, 0, b, 1, 2)      // ok: same dominator
+}
+
+func (e *env) guardedInLoop(bs []mem.Addr) {
+	for _, b := range bs {
+		if e.sink == nil {
+			continue
+		}
+		e.sink.OnTxnEnd(e.now, 0, b, 1, 2) // ok: continue skips the iteration
+	}
+}
+
+func (e *env) unguarded(b mem.Addr) {
+	e.sink.OnTxnEnd(e.now, 0, b, 1, 2) // want `unguarded obs emission e\.sink\.OnTxnEnd`
+}
+
+func (e *env) wrongReceiverGuard(b mem.Addr, other *obs.Sink) {
+	if other != nil {
+		e.sink.OnTxnEnd(e.now, 0, b, 1, 2) // want `unguarded obs emission`
+	}
+}
+
+func (e *env) elseBranch(b mem.Addr) {
+	if e.sink != nil {
+		_ = b
+	} else {
+		e.sink.OnTxnEnd(e.now, 0, b, 1, 2) // want `unguarded obs emission`
+	}
+}
+
+func (e *env) disjunctNotEnough(b mem.Addr, hot bool) {
+	if hot || e.sink != nil {
+		e.sink.OnTxnEnd(e.now, 0, b, 1, 2) // want `unguarded obs emission`
+	}
+}
+
+func (e *env) guardAfterCall(b mem.Addr) {
+	e.sink.OnTxnEnd(e.now, 0, b, 1, 2) // want `unguarded obs emission`
+	if e.sink == nil {
+		return
+	}
+}
+
+func (e *env) closureEscapesGuard(b mem.Addr) func() {
+	if e.sink != nil {
+		return func() {
+			e.sink.OnTxnEnd(e.now, 0, b, 1, 2) // want `unguarded obs emission`
+		}
+	}
+	return nil
+}
+
+func (e *env) readSideBare() int {
+	return e.sink.Len() // ok: read-side methods are nil-safe queries
+}

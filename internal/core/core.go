@@ -17,6 +17,8 @@
 package core
 
 import (
+	"strconv"
+
 	"dsisim/internal/cache"
 	"dsisim/internal/directory"
 	"dsisim/internal/mem"
@@ -78,6 +80,17 @@ const (
 	CauseSelfInv
 )
 
+func (c IdleCause) String() string {
+	switch c {
+	case CauseReplace:
+		return "replace"
+	case CauseSelfInv:
+		return "self-inval"
+	default:
+		return "IdleCause(" + strconv.Itoa(int(c)) + ")"
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Base protocol: never self-invalidate.
 
@@ -121,8 +134,11 @@ func (States) Read(e *directory.Entry, _ Request) bool {
 	switch e.State {
 	case directory.Exclusive, directory.IdleX, directory.SharedSI, directory.IdleSI:
 		return true
+	case directory.Idle, directory.IdleS, directory.Shared:
+		return false
+	default:
+		panic("core: States.Read: unhandled directory state")
 	}
-	return false
 }
 
 // Write implements Identifier: write requests obtain a self-invalidate
@@ -135,8 +151,11 @@ func (States) Write(e *directory.Entry, r Request) bool {
 		return true
 	case directory.IdleX:
 		return e.LastOwner != r.Node
+	case directory.Idle:
+		return false
+	default:
+		panic("core: States.Write: unhandled directory state")
 	}
-	return false
 }
 
 // GrantVersion implements Identifier: the states scheme delivers no version.

@@ -208,7 +208,10 @@ func (d *Dir) Peek(a mem.Addr) (*Entry, bool) {
 func (d *Dir) Len() int { return len(d.entries) }
 
 // ForEach calls fn for every materialized entry in unspecified order.
+// Callers that feed simulation state or output must sort or aggregate
+// order-independently what they collect; the protocol never iterates.
 func (d *Dir) ForEach(fn func(block mem.Addr, e *Entry)) {
+	//dsi:anyorder callers aggregate or sort; order never reaches sim state
 	for a, e := range d.entries {
 		fn(a, e)
 	}

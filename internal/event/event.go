@@ -109,12 +109,16 @@ func (q *Queue) After(d Time, fn Func) {
 // AtCall schedules act(arg) at absolute time t. This is the allocation-free
 // path: act is a static function and arg is typically a pooled record, so
 // nothing escapes per event.
+//
+//dsi:hotpath
 func (q *Queue) AtCall(t Time, act Action, arg any) {
 	q.typed++
 	q.push(item{at: t, seq: q.next(t), act: act, arg: arg})
 }
 
 // AfterCall schedules act(arg) d cycles from now (typed path).
+//
+//dsi:hotpath
 func (q *Queue) AfterCall(d Time, act Action, arg any) {
 	if d < 0 {
 		panic("event: negative delay")
@@ -124,6 +128,8 @@ func (q *Queue) AfterCall(d Time, act Action, arg any) {
 
 // Step runs the single earliest pending event, advancing the clock to its
 // time. It reports whether an event ran.
+//
+//dsi:hotpath
 func (q *Queue) Step() bool {
 	if len(q.heap) == 0 {
 		return false
@@ -184,6 +190,7 @@ func before(a, b *item) bool {
 	return a.seq < b.seq
 }
 
+//dsi:hotpath
 func (q *Queue) push(it item) {
 	q.heap = append(q.heap, it)
 	if len(q.heap) > q.peak {
@@ -203,6 +210,7 @@ func (q *Queue) push(it item) {
 	h[i] = it
 }
 
+//dsi:hotpath
 func (q *Queue) pop() item {
 	h := q.heap
 	top := h[0]
@@ -217,6 +225,8 @@ func (q *Queue) pop() item {
 }
 
 // siftDown re-inserts it starting from the root of the shrunken heap.
+//
+//dsi:hotpath
 func (q *Queue) siftDown(it item) {
 	h := q.heap
 	n := len(h)
@@ -257,6 +267,8 @@ type Server struct {
 
 // Admit reserves the server for dur cycles starting no earlier than now,
 // returning the start and completion times of the reservation.
+//
+//dsi:hotpath
 func (s *Server) Admit(now Time, dur Time) (start, done Time) {
 	if dur < 0 {
 		panic("event: negative occupancy")

@@ -171,8 +171,12 @@ func New(cfg Config) *Machine {
 			case netsim.Inv, netsim.Recall, netsim.DataS, netsim.DataX,
 				netsim.AckX, netsim.FinalAck:
 				cc.Handle(msg)
-			default:
+			case netsim.GetS, netsim.GetX, netsim.Upgrade, netsim.InvAck,
+				netsim.InvAckData, netsim.RecallAck, netsim.WB, netsim.Repl,
+				netsim.SInvNotify, netsim.SInvWB:
 				dc.Handle(msg)
+			default:
+				panic("machine: message kind with no controller route")
 			}
 		})
 	}

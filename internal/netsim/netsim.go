@@ -67,8 +67,11 @@ func (k Kind) HasData() bool {
 	switch k {
 	case InvAckData, RecallAck, DataS, DataX, WB, SInvWB:
 		return true
+	case GetS, GetX, Upgrade, Inv, InvAck, Recall, AckX, FinalAck, Repl, SInvNotify:
+		return false
+	default:
+		panic("netsim: HasData: unknown message kind")
 	}
-	return false
 }
 
 // IsInvalidation reports whether the kind counts as an "invalidation
@@ -78,8 +81,11 @@ func (k Kind) IsInvalidation() bool {
 	switch k {
 	case Inv, InvAck, InvAckData, Recall, RecallAck:
 		return true
+	case GetS, GetX, Upgrade, DataS, DataX, WB, AckX, FinalAck, Repl, SInvNotify, SInvWB:
+		return false
+	default:
+		panic("netsim: IsInvalidation: unknown message kind")
 	}
-	return false
 }
 
 // Message is one coherence protocol message. Fields beyond Kind/Src/Dst/Addr
@@ -204,6 +210,8 @@ type delivery struct {
 }
 
 // deliver is the static delivery action shared by every in-flight message.
+//
+//dsi:hotpath
 func deliver(arg any) {
 	d := arg.(*delivery)
 	n := d.net
@@ -220,6 +228,8 @@ func deliver(arg any) {
 }
 
 // getDelivery pops a pooled record or allocates the pool's next one.
+//
+//dsi:hotpath
 func (n *Network) getDelivery() *delivery {
 	if len(n.free) > 0 {
 		d := n.free[len(n.free)-1]
@@ -281,6 +291,8 @@ func InjectionTime(k Kind) event.Time {
 // Send injects m at its source NI. Local messages (Src == Dst) bypass the
 // network: they are delivered after LocalDelay and not counted. The return
 // value is the time the message will be delivered.
+//
+//dsi:hotpath
 func (n *Network) Send(m Message) event.Time {
 	if m.Src < 0 || m.Src >= len(n.nis) || m.Dst < 0 || m.Dst >= len(n.nis) {
 		panic(fmt.Sprintf("netsim: bad endpoints in %v", m))

@@ -121,8 +121,12 @@ func sentByDir(k netsim.Kind) bool {
 	switch k {
 	case netsim.Inv, netsim.Recall, netsim.DataS, netsim.DataX, netsim.AckX, netsim.FinalAck:
 		return true
+	case netsim.GetS, netsim.GetX, netsim.Upgrade, netsim.InvAck, netsim.InvAckData,
+		netsim.RecallAck, netsim.WB, netsim.Repl, netsim.SInvNotify, netsim.SInvWB:
+		return false
+	default:
+		panic("obs: sentByDir: unknown message kind")
 	}
-	return false
 }
 
 // dirLane maps the "is this the directory's lane" bit to a tid.

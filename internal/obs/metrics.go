@@ -133,8 +133,9 @@ func (s *Sink) observe(e *Event) {
 	m := &s.m
 	switch e.Kind {
 	case MsgSend:
-		switch e.Msg {
-		case netsim.GetS, netsim.GetX, netsim.Upgrade:
+		// Only fresh requests signal premature self-invalidation or a lost
+		// version echo; the remaining kinds carry no streaming signal.
+		if e.Msg == netsim.GetS || e.Msg == netsim.GetX || e.Msg == netsim.Upgrade {
 			t := s.track(e.Node, e.Addr)
 			if t.haveSelfIn && e.Cycle-t.lastSelfIn <= m.PrematureWindow {
 				m.PrematureSelfInvals++
@@ -180,6 +181,9 @@ func (s *Sink) observe(e *Event) {
 			m.TxnLatency.Observe(int64(e.Cycle - start))
 			delete(s.open, e.Txn)
 		}
+	case MsgRecv, DirState:
+		// No streaming metrics derive from deliveries or directory-side
+		// transitions; they are retained for the ring buffer only.
 	}
 }
 
@@ -195,6 +199,8 @@ func (s *Sink) leaveState(node int32, b mem.Addr, now event.Time, old cache.Stat
 		s.m.TimeShared.Observe(d)
 	case cache.Exclusive:
 		s.m.TimeExclusive.Observe(d)
+	case cache.Invalid:
+		// Filtered above: a copy leaving Invalid has no residency interval.
 	}
 }
 

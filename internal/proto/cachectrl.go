@@ -1,6 +1,8 @@
 package proto
 
 import (
+	"strconv"
+
 	"dsisim/internal/cache"
 	"dsisim/internal/core"
 	"dsisim/internal/event"
@@ -16,6 +18,15 @@ const (
 	opWrite
 	opSwap
 )
+
+var opKindNames = [...]string{opRead: "read", opWrite: "write", opSwap: "swap"}
+
+func (k opKind) String() string {
+	if k < 0 || int(k) >= len(opKindNames) {
+		return "opKind(" + strconv.Itoa(int(k)) + ")"
+	}
+	return opKindNames[k]
+}
 
 // mshr is one outstanding miss. Under SC there is at most one per
 // processor; under WC there can be one read plus up to WriteBufferEntries
@@ -138,6 +149,8 @@ type sendCall struct {
 }
 
 // doSendCall is the static action for deferred request injection.
+//
+//dsi:hotpath
 func doSendCall(arg any) {
 	c := arg.(*sendCall)
 	cc, m := c.cc, c.msg
@@ -222,6 +235,7 @@ func (cc *CacheCtrl) Outstanding() int { return len(cc.mshrs) + len(cc.entries) 
 // WBEmpty reports whether the write buffer has fully drained.
 func (cc *CacheCtrl) WBEmpty() bool { return len(cc.entries) == 0 && len(cc.stalled) == 0 }
 
+//dsi:hotpath
 func (cc *CacheCtrl) send(m netsim.Message) {
 	m.Src = cc.node
 	cc.env.Net.Send(m)
@@ -232,6 +246,8 @@ func (cc *CacheCtrl) home(a mem.Addr) int { return cc.env.Layout.Home(a) }
 // --- processor-facing operations -------------------------------------------
 
 // Read performs a load. cont may run synchronously on a hit.
+//
+//dsi:hotpath
 func (cc *CacheCtrl) Read(a mem.Addr, cont func(Result)) {
 	now := cc.env.Q.Now()
 	if f, hit := cc.c.Lookup(a); hit {
@@ -257,6 +273,8 @@ func (cc *CacheCtrl) Read(a mem.Addr, cont func(Result)) {
 // Write performs a store. Under SC the processor stalls until completion;
 // under WC the store is buffered and cont runs when the write buffer
 // accepts it.
+//
+//dsi:hotpath
 func (cc *CacheCtrl) Write(a mem.Addr, st Store, cont func(Result)) {
 	now := cc.env.Q.Now()
 	if f, hit := cc.c.Lookup(a); hit && f.State == cache.Exclusive {
@@ -336,6 +354,7 @@ func (cc *CacheCtrl) DrainWB(cont func()) {
 
 // --- miss machinery ---------------------------------------------------------
 
+//dsi:hotpath
 func (cc *CacheCtrl) issueMiss(b mem.Addr, ms *mshr) {
 	// Sequentially consistent tear-off copies die at the next cache miss
 	// (Scheurich's condition): until this processor misses, it cannot
@@ -387,6 +406,8 @@ func (cc *CacheCtrl) issueMiss(b mem.Addr, ms *mshr) {
 }
 
 // install places an arriving block, emitting any displacement writeback.
+//
+//dsi:hotpath
 func (cc *CacheCtrl) install(b mem.Addr, st cache.State, m netsim.Message) {
 	sk := cc.env.Sink
 	var old cache.State
@@ -560,6 +581,8 @@ func (cc *CacheCtrl) retire(e *wbEntry) {
 // --- network-facing handlers -------------------------------------------------
 
 // Handle dispatches one incoming coherence message bound for the cache.
+//
+//dsi:hotpath
 func (cc *CacheCtrl) Handle(m netsim.Message) {
 	switch m.Kind {
 	case netsim.Inv:
@@ -680,6 +703,9 @@ func (cc *CacheCtrl) applyGrant(b mem.Addr, ms *mshr, m netsim.Message) {
 		return
 	}
 	switch ms.kind {
+	case opRead:
+		// Read grants install via onDataS and never carry a buffered store.
+		cc.env.fail("cache %d: read grant routed to applyGrant for %#x", cc.node, uint64(b))
 	case opWrite:
 		if cc.cfg.Consistency == WC {
 			cc.freeMshr(ms)

@@ -98,6 +98,8 @@ type dirCall struct {
 }
 
 // processCall is the static action for admitted requests.
+//
+//dsi:hotpath
 func processCall(arg any) {
 	c := arg.(*dirCall)
 	dc, m := c.dc, c.m
@@ -134,6 +136,7 @@ func (dc *DirCtrl) Stats() DirStats { return dc.stats }
 // quiesce detection.
 func (dc *DirCtrl) BusyBlocks() int { return len(dc.busy) }
 
+//dsi:hotpath
 func (dc *DirCtrl) send(m netsim.Message) {
 	m.Src = dc.node
 	dc.env.Net.Send(m)
@@ -155,6 +158,8 @@ func (dc *DirCtrl) newTxn(init txn) *txn {
 
 // Handle dispatches one incoming message. It is the node's network handler
 // for directory-bound kinds.
+//
+//dsi:hotpath
 func (dc *DirCtrl) Handle(m netsim.Message) {
 	switch m.Kind {
 	case netsim.GetS, netsim.GetX, netsim.Upgrade:
@@ -180,6 +185,8 @@ func (dc *DirCtrl) Handle(m netsim.Message) {
 
 // admit runs a request through the 10-cycle directory occupancy, then
 // processes it (or queues it behind a busy block).
+//
+//dsi:hotpath
 func (dc *DirCtrl) admit(m netsim.Message) {
 	_, done := dc.server.Admit(dc.env.Q.Now(), DirOccupancy)
 	var c *dirCall
@@ -193,6 +200,7 @@ func (dc *DirCtrl) admit(m netsim.Message) {
 	dc.env.Q.AtCall(done, processCall, c)
 }
 
+//dsi:hotpath
 func (dc *DirCtrl) process(m netsim.Message) {
 	b := mem.BlockOf(m.Addr)
 	if dc.busy[b] != nil {
@@ -206,6 +214,8 @@ func (dc *DirCtrl) process(m netsim.Message) {
 		dc.processRead(m)
 	case netsim.GetX, netsim.Upgrade:
 		dc.processWrite(m)
+	default:
+		dc.env.fail("dir %d: non-request kind %v reached process", dc.node, m)
 	}
 	// Requests served immediately (no transaction) must still release any
 	// requests that queued behind the block while it was busy.

@@ -1,0 +1,60 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+
+	"dsisim/internal/cache"
+	"dsisim/internal/core"
+	"dsisim/internal/directory"
+	"dsisim/internal/netsim"
+)
+
+// TestOpKindString checks the miss-kind names used in failure messages and
+// debug output.
+func TestOpKindString(t *testing.T) {
+	want := map[opKind]string{opRead: "read", opWrite: "write", opSwap: "swap"}
+	for k, w := range want {
+		if got := k.String(); got != w {
+			t.Errorf("opKind(%d).String() = %q, want %q", int(k), got, w)
+		}
+	}
+	if got := opKind(7).String(); got != "opKind(7)" {
+		t.Errorf("out-of-range opKind = %q, want opKind(7)", got)
+	}
+	if got := opKind(-1).String(); got != "opKind(-1)" {
+		t.Errorf("negative opKind = %q, want opKind(-1)", got)
+	}
+}
+
+// TestProtocolEnumNames checks that every constant of the protocol-facing
+// enums renders a real name, not the numeric placeholder — the exhaustive
+// analyzer keeps the switches complete, and this keeps the labels honest.
+func TestProtocolEnumNames(t *testing.T) {
+	for k := netsim.Kind(0); k < netsim.NumKinds; k++ {
+		if s := k.String(); strings.Contains(s, "Kind(") {
+			t.Errorf("netsim.Kind %d has placeholder name %q", int(k), s)
+		}
+	}
+	for _, s := range []directory.State{
+		directory.Idle, directory.Shared, directory.Exclusive,
+		directory.IdleS, directory.IdleX, directory.SharedSI, directory.IdleSI,
+	} {
+		if n := s.String(); strings.Contains(n, "State(") {
+			t.Errorf("directory.State %d has placeholder name %q", int(s), n)
+		}
+	}
+	for _, s := range []cache.State{cache.Invalid, cache.Shared, cache.Exclusive} {
+		if n := s.String(); strings.Contains(n, "State(") {
+			t.Errorf("cache.State %d has placeholder name %q", int(s), n)
+		}
+	}
+	for _, c := range []core.IdleCause{core.CauseReplace, core.CauseSelfInv} {
+		if n := c.String(); strings.Contains(n, "IdleCause(") {
+			t.Errorf("core.IdleCause %d has placeholder name %q", int(c), n)
+		}
+	}
+	if got := core.IdleCause(9).String(); got != "IdleCause(9)" {
+		t.Errorf("out-of-range IdleCause = %q, want IdleCause(9)", got)
+	}
+}

@@ -86,6 +86,10 @@ func (e *Env) NextTxn() uint64 {
 	return e.txnSeq
 }
 
+// fail reports a protocol invariant violation and does not return control to
+// the caller's normal path: it panics unless a test installed CheckFail.
+//
+//dsi:coldpath
 func (e *Env) fail(format string, args ...any) {
 	if e.CheckFail != nil {
 		e.CheckFail(format, args...)

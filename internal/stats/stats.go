@@ -179,7 +179,10 @@ func (t Table) Render() string {
 		sb.WriteByte('\n')
 	}
 	writeRow(t.Header)
-	total := len(t.Header)*2 - 2
+	total := 0
+	if len(t.Header) > 1 {
+		total = len(t.Header)*2 - 2
+	}
 	for _, w := range widths {
 		total += w
 	}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableRenderNoRows: a header-only table still renders the header and
+// separator so harness output stays parseable when a run produced no data.
+func TestTableRenderNoRows(t *testing.T) {
+	tb := Table{Title: "empty run", Header: []string{"name", "cycles"}}
+	got := tb.Render()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want title+header+separator, got %d lines:\n%s", len(lines), got)
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "cycles") {
+		t.Fatalf("header line mangled: %q", lines[1])
+	}
+	if strings.Trim(lines[2], "-") != "" {
+		t.Fatalf("separator line mangled: %q", lines[2])
+	}
+}
+
+// TestTableRenderEmptyCells: AddRow with no cells pads to the full column
+// count, keeping alignment for rows where every value is blank.
+func TestTableRenderEmptyCells(t *testing.T) {
+	tb := Table{Header: []string{"workload", "base", "dsi"}}
+	tb.AddRow("ocean", "1.00", "0.92")
+	tb.AddRow()
+	tb.AddRow("fft")
+	got := tb.Render()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want header+separator+3 rows, got %d lines:\n%s", len(lines), got)
+	}
+	sep := len(lines[1])
+	for i, l := range lines {
+		if len(strings.TrimRight(l, " ")) > sep {
+			t.Fatalf("line %d wider than separator (%d > %d): %q", i, len(l), sep, l)
+		}
+	}
+	if strings.TrimSpace(lines[3]) != "" {
+		t.Fatalf("empty row rendered non-blank: %q", lines[3])
+	}
+	if strings.TrimSpace(lines[4]) != "fft" {
+		t.Fatalf("short row mangled: %q", lines[4])
+	}
+}
+
+// TestTableRenderZeroValue: the zero Table must render without panicking
+// (the separator width math must not go negative).
+func TestTableRenderZeroValue(t *testing.T) {
+	var tb Table
+	got := tb.Render()
+	if got != "\n\n" {
+		t.Fatalf("zero table rendered %q", got)
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestReadTruncatedMidRecord feeds Read a recording cut off at every byte
+// boundary: a copy interrupted mid-stream must produce a validation error or
+// a clean shorter parse — never a panic and never a silently full-length
+// trace.
+func TestReadTruncatedMidRecord(t *testing.T) {
+	tr, _ := record(t, "sparse")
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	header := bytes.IndexByte(full, '\n') + 1
+	for cut := header; cut < len(full); cut += 101 {
+		got, err := Read(bytes.NewReader(full[:cut]))
+		if err == nil {
+			// The one benign cut: losing only the final newline still yields
+			// the complete event stream. Anything else must be rejected.
+			if cut != len(full)-1 || len(got.Events) != len(tr.Events) {
+				t.Fatalf("truncation at byte %d/%d accepted with %d events",
+					cut, len(full), len(got.Events))
+			}
+		}
+	}
+}
+
+// TestReadTruncationErrors pins the error classes specific truncation shapes
+// produce.
+func TestReadTruncationErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{
+			name: "mid-record cut leaves short line",
+			in:   "dsitrace toy procs=2 events=2\n0 read 40 0 0 0\n1 wri",
+			want: "want 6 fields",
+		},
+		{
+			name: "corrupted kind",
+			in:   "dsitrace toy procs=2 events=2\n0 read 40 0 0 0\n1 wri 48 0 0 0",
+			want: "unknown kind",
+		},
+		{
+			name: "fields missing on last line",
+			in:   "dsitrace toy procs=2 events=2\n0 read 40 0 0 0\n1 read 48 0",
+			want: "want 6 fields",
+		},
+		{
+			name: "whole records missing",
+			in:   "dsitrace toy procs=2 events=3\n0 read 40 0 0 0\n",
+			want: "header says 3 events, read 1",
+		},
+		{
+			name: "sync flag cut off",
+			in:   "dsitrace toy procs=2 events=1\n0 read 40 0 0\n",
+			want: "want 6 fields",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(c.in))
+			if err == nil {
+				t.Fatalf("accepted %q", c.in)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
