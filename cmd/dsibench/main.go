@@ -7,6 +7,7 @@
 //	         [-cpuprofile f] [-memprofile f] [-trace f]
 //	         [-benchjson f]
 //	         [-blockstats workload] [-protocol label] [-cachebytes n]
+//	         [-faults spec]
 //
 // Output is plain text, one table per artifact, with execution times
 // normalized exactly as the paper reports them. Expect the full suite at
@@ -66,7 +67,17 @@ func main() {
 	blockstats := flag.String("blockstats", "", "run this workload with the coherence-event sink and print block-lifetime metrics instead of running experiments")
 	protocol := flag.String("protocol", "V", "protocol label for -blockstats")
 	cacheBytes := flag.Int("cachebytes", 0, "cache size for -blockstats (0 = default 256 KiB)")
+	faultSpec := flag.String("faults", "", "fault-injection spec for -benchjson/-blockstats runs, e.g. drop=0.01,seed=7 (see docs/FAULTS.md)")
 	flag.Parse()
+
+	var faults *dsisim.FaultConfig
+	if *faultSpec != "" {
+		fc, err := dsisim.ParseFaults(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		faults = &fc
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -106,17 +117,21 @@ func main() {
 	}()
 
 	if *benchjson != "" {
-		if err := runKernelBench(*benchjson, *benchWorkload, *procs, *benchScale); err != nil {
+		if err := runKernelBench(*benchjson, *benchWorkload, *procs, *benchScale, faults); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	if *blockstats != "" {
-		if err := runBlockStats(*blockstats, *protocol, *procs, *cacheBytes, *testScale); err != nil {
+		if err := runBlockStats(*blockstats, *protocol, *procs, *cacheBytes, *testScale, faults); err != nil {
 			fatal(err)
 		}
 		return
+	}
+
+	if faults != nil {
+		fatal(fmt.Errorf("-faults applies to -benchjson and -blockstats runs, not paper artifacts"))
 	}
 
 	o := experiments.Options{Processors: *procs}
@@ -167,14 +182,14 @@ type KernelBench struct {
 
 // runKernelBench benchmarks repeated full simulations with testing.Benchmark
 // and writes the summary JSON to path.
-func runKernelBench(path, wl string, procs int, paperScale bool) error {
+func runKernelBench(path, wl string, procs int, paperScale bool, faults *dsisim.FaultConfig) error {
 	scale := dsisim.ScaleTest
 	scaleName := "test"
 	if paperScale {
 		scale = dsisim.ScalePaper
 		scaleName = "paper"
 	}
-	cfg := dsisim.Config{Workload: wl, Scale: scale, Protocol: dsisim.V, Processors: procs}
+	cfg := dsisim.Config{Workload: wl, Scale: scale, Protocol: dsisim.V, Processors: procs, Faults: faults}
 
 	// One priming run for the kernel counters (identical every iteration:
 	// the simulation is deterministic).
@@ -232,7 +247,7 @@ func probeProcs(n int) int {
 
 // runBlockStats simulates one workload with a coherence-event sink attached
 // and prints the derived block-lifetime metrics.
-func runBlockStats(wl, protocol string, procs, cacheBytes int, testScale bool) error {
+func runBlockStats(wl, protocol string, procs, cacheBytes int, testScale bool, faults *dsisim.FaultConfig) error {
 	scale := dsisim.ScalePaper
 	if testScale {
 		scale = dsisim.ScaleTest
@@ -245,6 +260,7 @@ func runBlockStats(wl, protocol string, procs, cacheBytes int, testScale bool) e
 		Processors: procs,
 		CacheBytes: cacheBytes,
 		Sink:       sink,
+		Faults:     faults,
 	})
 	if err != nil {
 		return err

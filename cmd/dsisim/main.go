@@ -26,6 +26,7 @@ func main() {
 	cacheBytes := flag.Int("cache", 256*1024, "cache size per node in bytes")
 	latency := flag.Int64("latency", 100, "network latency in cycles")
 	testScale := flag.Bool("test", false, "use tiny test-scale inputs")
+	faults := flag.String("faults", "", "fault-injection spec, e.g. drop=0.01,dup=0.005,seed=7 (see docs/FAULTS.md)")
 	flag.Parse()
 
 	cfg := dsisim.Config{
@@ -37,6 +38,14 @@ func main() {
 	}
 	if *testScale {
 		cfg.Scale = dsisim.ScaleTest
+	}
+	if *faults != "" {
+		fc, err := dsisim.ParseFaults(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsisim:", err)
+			os.Exit(1)
+		}
+		cfg.Faults = &fc
 	}
 	res, err := dsisim.Run(cfg)
 	if err != nil {
@@ -87,4 +96,21 @@ func main() {
 	}
 	fmt.Printf("DSI activity: %d marked blocks received (%d tear-off), %d sync flushes, %d FIFO displacements\n",
 		si, tear, flushes, res.FIFODisplacements)
+
+	if cfg.Faults != nil {
+		f := res.Faults
+		var timeouts, retries, nacks int64
+		for _, cs := range res.Cache {
+			timeouts += cs.Timeouts
+			retries += cs.Retries
+			nacks += cs.NacksRecv
+		}
+		for _, ds := range res.Dir {
+			timeouts += ds.Timeouts
+			retries += ds.RetriesSent
+		}
+		fmt.Printf("faults: %d dropped, %d duplicated, %d delayed (%d converted, %d scripted) over %d decisions\n",
+			f.Dropped, f.Duplicated, f.Delayed, f.Converted, f.Scripted, f.Decisions)
+		fmt.Printf("recovery: %d timeouts, %d retransmissions, %d NACKs\n", timeouts, retries, nacks)
+	}
 }

@@ -38,8 +38,10 @@ import (
 	"dsisim/internal/core"
 	"dsisim/internal/cpu"
 	"dsisim/internal/event"
+	"dsisim/internal/faultinj"
 	"dsisim/internal/machine"
 	"dsisim/internal/mem"
+	"dsisim/internal/netsim"
 	"dsisim/internal/obs"
 	"dsisim/internal/proto"
 	"dsisim/internal/stats"
@@ -170,6 +172,49 @@ type Config struct {
 	// Result's Blocks metrics (see NewCoherenceSink). A nil sink costs
 	// nothing: the simulation runs its usual allocation-free steady state.
 	Sink *CoherenceSink
+	// Faults, if set and non-trivial, installs a deterministic
+	// fault-injection plan on the interconnect: probabilistic drops,
+	// duplications, and delays plus scripted per-message faults, all drawn
+	// from the plan's own seeded stream (see ParseFaults and docs/FAULTS.md).
+	// An active plan automatically enables the hardened protocol —
+	// per-transaction timeouts, bounded retransmission with exponential
+	// backoff, and NACK handling — so every run still terminates and passes
+	// the coherence audit. A nil (or zero) Faults costs nothing.
+	Faults *FaultConfig
+}
+
+// FaultConfig describes a deterministic fault-injection plan. The zero value
+// injects nothing.
+type FaultConfig = faultinj.Config
+
+// FaultRule is one scripted fault ("drop the 3rd Inv from home 0 to node 7").
+type FaultRule = faultinj.Rule
+
+// FaultStats counts the fault decisions a run's plan made (Result.Faults).
+type FaultStats = faultinj.Stats
+
+// Fault actions for FaultRule.Action.
+const (
+	// FaultDrop discards the message (delivery never happens).
+	FaultDrop = faultinj.Drop
+	// FaultDuplicate delivers a second copy after a bounded spacing.
+	FaultDuplicate = faultinj.Duplicate
+	// FaultDelay adds bounded extra latency to the delivery.
+	FaultDelay = faultinj.Delay
+)
+
+// ParseFaults builds a FaultConfig from a comma-separated spec string, e.g.
+//
+//	drop=0.05,dup=0.01,delay=0.2,jitter=40,seed=7
+//	dropkind=Inv:0.5,droplink=2-5:0.25
+//
+// Message-kind names in dropkind (Inv, GetX, DataS, ...) resolve through the
+// interconnect's kind table. An empty spec yields the zero FaultConfig.
+func ParseFaults(spec string) (FaultConfig, error) {
+	return faultinj.Parse(spec, func(name string) (int, bool) {
+		k, ok := netsim.ParseKind(name)
+		return int(k), ok
+	})
 }
 
 // Result is the outcome of one simulation run.
@@ -250,6 +295,7 @@ func (c Config) machineConfig() (machine.Config, error) {
 		Seed:           c.Seed,
 		MaxSteps:       c.MaxSteps,
 		Sink:           c.Sink,
+		Faults:         c.Faults,
 	}, nil
 }
 

@@ -38,11 +38,13 @@ var timeBanned = map[string]bool{
 
 // DefaultSimPackages lists the packages whose results feed deterministic
 // simulation state: the event kernel, the protocol engines, the network, the
-// machine assembly, the DSI policies, and the hardware structures.
+// fault-injection plan, the machine assembly, the DSI policies, and the
+// hardware structures.
 var DefaultSimPackages = []string{
 	"dsisim/internal/event",
 	"dsisim/internal/proto",
 	"dsisim/internal/netsim",
+	"dsisim/internal/faultinj",
 	"dsisim/internal/machine",
 	"dsisim/internal/core",
 	"dsisim/internal/directory",

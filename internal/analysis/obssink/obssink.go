@@ -18,8 +18,15 @@
 //	if R == nil { return }; ...; R.OnFoo(...)    // early-exit dominator
 //
 // The early-exit form also accepts panic, continue, and break as the
-// terminating statement. The obs package itself is exempt (its methods
-// implement the nil-safety).
+// terminating statement.
+//
+// The checked surfaces are configurable (New): each Receiver names a type by
+// package path and type name plus the producer-side methods whose call sites
+// must be dominated by a guard. The default set covers *obs.Sink's emission
+// methods — including its netsim.Observer implementation (MsgSent,
+// MsgDelivered, MsgFault) and the hardened-protocol OnRetryTimeout — and the
+// netsim.Observer interface itself, so netsim's own emission sites through
+// its observer field are held to the same contract.
 package obssink
 
 import (
@@ -29,31 +36,76 @@ import (
 	"dsisim/internal/analysis"
 )
 
-// obsPath is the import path of the sink package.
-const obsPath = "dsisim/internal/obs"
-
-// emissionMethods are the producer-side Sink methods that must be guarded.
-// Read-side methods (Events, Metrics, WriteText, Reset, ...) are nil-safe
-// queries and may be called bare.
-var emissionMethods = map[string]bool{
-	"MsgSent": true, "MsgDelivered": true,
-	"OnCacheState": true, "OnDirState": true, "OnSelfInval": true,
-	"OnTearOffGrant": true, "OnTxnStart": true, "OnTxnEnd": true,
+// Receiver names one guarded emission surface: a (pointer-to-)named type or
+// interface identified by defining package path and type name, plus the
+// producer-side methods whose call sites must be dominated by a nil check of
+// the receiver expression. Read-side methods (queries that are nil-safe and
+// allocation-free) are simply left off the Methods list.
+type Receiver struct {
+	// Path is the import path of the package defining the type.
+	Path string
+	// Type is the type name within that package.
+	Type string
+	// Methods are the emission methods to check.
+	Methods []string
+	// SelfExempt skips call sites inside the defining package itself — for
+	// types whose methods implement the nil-safety (obs.Sink's producer
+	// methods nil-check their receiver internally). Leave false for
+	// interfaces like netsim.Observer, where the defining package is
+	// exactly the emitter under contract.
+	SelfExempt bool
 }
 
-// Analyzer is the obssink checker.
-func Analyzer() *analysis.Analyzer {
+// DefaultReceivers is the emission surface the dsivet suite checks.
+func DefaultReceivers() []Receiver {
+	return []Receiver{
+		{
+			Path: "dsisim/internal/obs",
+			Type: "Sink",
+			Methods: []string{
+				"MsgSent", "MsgDelivered", "MsgFault",
+				"OnCacheState", "OnDirState", "OnSelfInval",
+				"OnTearOffGrant", "OnTxnStart", "OnTxnEnd",
+				"OnRetryTimeout",
+			},
+			SelfExempt: true,
+		},
+		{
+			Path:    "dsisim/internal/netsim",
+			Type:    "Observer",
+			Methods: []string{"MsgSent", "MsgDelivered", "MsgFault"},
+		},
+	}
+}
+
+// checker is the configured analyzer state: receivers indexed by method name
+// for the fast reject on non-emission calls.
+type checker struct {
+	recvs    []Receiver
+	byMethod map[string][]int // method name -> indices into recvs
+}
+
+// New returns an obssink analyzer checking the given receiver surfaces.
+func New(recvs []Receiver) *analysis.Analyzer {
+	c := &checker{recvs: recvs, byMethod: make(map[string][]int)}
+	for i, r := range recvs {
+		for _, m := range r.Methods {
+			c.byMethod[m] = append(c.byMethod[m], i)
+		}
+	}
 	return &analysis.Analyzer{
 		Name: "obssink",
-		Doc:  "obs.Sink emission sites must be dominated by a nil-sink check",
-		Run:  run,
+		Doc:  "obs emission sites must be dominated by a nil-sink check",
+		Run:  c.run,
 	}
 }
 
-func run(pass *analysis.Pass) error {
-	if pass.Pkg.Path() == obsPath {
-		return nil
-	}
+// Analyzer is the obssink checker over the default receiver set.
+func Analyzer() *analysis.Analyzer {
+	return New(DefaultReceivers())
+}
+
+func (c *checker) run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		parents := parentMap(f)
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -62,10 +114,27 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-			if !ok || !emissionMethods[se.Sel.Name] {
+			if !ok {
 				return true
 			}
-			if !isSinkType(pass.TypeOf(se.X)) {
+			candidates := c.byMethod[se.Sel.Name]
+			if len(candidates) == 0 {
+				return true
+			}
+			rt := pass.TypeOf(se.X)
+			matched := false
+			for _, i := range candidates {
+				r := &c.recvs[i]
+				if !isReceiverType(rt, r) {
+					continue
+				}
+				if r.SelfExempt && pass.Pkg.Path() == r.Path {
+					return true
+				}
+				matched = true
+				break
+			}
+			if !matched {
 				return true
 			}
 			if guarded(pass, parents, call, se.X) {
@@ -80,8 +149,9 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// isSinkType reports whether t is *obs.Sink (or obs.Sink).
-func isSinkType(t types.Type) bool {
+// isReceiverType reports whether t is r's named type, a pointer to it, or
+// (for interface receivers) the named interface itself.
+func isReceiverType(t types.Type, r *Receiver) bool {
 	if t == nil {
 		return false
 	}
@@ -93,7 +163,7 @@ func isSinkType(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Sink" && obj.Pkg() != nil && obj.Pkg().Path() == obsPath
+	return obj.Name() == r.Type && obj.Pkg() != nil && obj.Pkg().Path() == r.Path
 }
 
 // parentMap indexes every node's parent within f.

@@ -5,7 +5,9 @@ package a
 
 import (
 	"dsisim/internal/event"
+	"dsisim/internal/faultinj"
 	"dsisim/internal/mem"
+	"dsisim/internal/netsim"
 	"dsisim/internal/obs"
 )
 
@@ -92,4 +94,48 @@ func (e *env) closureEscapesGuard(b mem.Addr) func() {
 
 func (e *env) readSideBare() int {
 	return e.sink.Len() // ok: read-side methods are nil-safe queries
+}
+
+func (e *env) faultGuarded(m netsim.Message) {
+	if e.sink != nil {
+		e.sink.MsgFault(e.now, m, faultinj.Drop, 0) // ok: in-branch guard
+	}
+}
+
+func (e *env) faultUnguarded(m netsim.Message) {
+	e.sink.MsgFault(e.now, m, faultinj.Drop, 0) // want `unguarded obs emission e\.sink\.MsgFault`
+}
+
+func (e *env) retryTimeoutGuarded(b mem.Addr) {
+	if sk := e.sink; sk != nil {
+		sk.OnRetryTimeout(e.now, 0, b, 1, 2, false) // ok: bound guard
+	}
+}
+
+func (e *env) retryTimeoutUnguarded(b mem.Addr) {
+	e.sink.OnRetryTimeout(e.now, 0, b, 1, 2, false) // want `unguarded obs emission`
+}
+
+// netEnv exercises the netsim.Observer receiver surface: emissions through
+// the interface are under the same contract as *obs.Sink's methods.
+type netEnv struct {
+	obs netsim.Observer
+	now event.Time
+}
+
+func (n *netEnv) deliverGuarded(m netsim.Message) {
+	if n.obs != nil {
+		n.obs.MsgDelivered(n.now, m) // ok: in-branch guard
+	}
+}
+
+func (n *netEnv) sentEarlyExit(m netsim.Message, arrive event.Time) {
+	if n.obs == nil {
+		return
+	}
+	n.obs.MsgSent(n.now, m, arrive) // ok: early-exit dominator
+}
+
+func (n *netEnv) faultUnguardedObserver(m netsim.Message) {
+	n.obs.MsgFault(n.now, m, faultinj.Delay, 3) // want `unguarded obs emission n\.obs\.MsgFault`
 }

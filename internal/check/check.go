@@ -15,21 +15,36 @@ import (
 )
 
 // Audit verifies the machine-wide invariants over a quiesced system and
-// returns every violation found.
+// returns every violation found. On a system that failed to quiesce it
+// reports exactly which transactions are stuck — per-node outstanding
+// misses and per-home busy blocks, with their transaction ids and retry
+// counts — and skips the entry-level checks, which are only meaningful once
+// nothing is in flight.
 func Audit(ccs []*proto.CacheCtrl, dcs []*proto.DirCtrl, inFlight int) []error {
 	var errs []error
-	if inFlight != 0 {
+	quiesced := inFlight == 0
+	if !quiesced {
 		errs = append(errs, fmt.Errorf("audit of non-quiesced system: %d messages in flight", inFlight))
-		return errs
 	}
 	for n, cc := range ccs {
 		if o := cc.Outstanding(); o != 0 {
 			errs = append(errs, fmt.Errorf("node %d: %d outstanding misses/entries", n, o))
+			for _, om := range cc.DumpOutstanding() {
+				errs = append(errs, fmt.Errorf("node %d: stuck %s for %#x (txn %d, %d retries, started t=%d)",
+					n, om.Op, uint64(om.Addr), om.Txn, om.Retries, om.Start))
+			}
 		}
 	}
 	for _, dc := range dcs {
 		if b := dc.BusyBlocks(); b != 0 {
 			errs = append(errs, fmt.Errorf("home %d: %d busy blocks", dc.Dir().Node(), b))
+			for _, bt := range dc.DumpBusy() {
+				errs = append(errs, fmt.Errorf("home %d: stuck txn %d (%v for %#x from node %d) awaiting %v via %v (%d retries, %d queued)",
+					dc.Dir().Node(), bt.Txn, bt.Req, uint64(bt.Addr), bt.From, bt.Pending, bt.Action, bt.Retries, bt.Queued))
+			}
+		}
+		if !quiesced {
+			continue
 		}
 		dc.Dir().ForEach(func(b mem.Addr, e *directory.Entry) {
 			if err := auditEntry(ccs, dc, b, e); err != nil {

@@ -13,6 +13,7 @@ import (
 	"dsisim/internal/core"
 	"dsisim/internal/cpu"
 	"dsisim/internal/event"
+	"dsisim/internal/faultinj"
 	"dsisim/internal/mem"
 	"dsisim/internal/netsim"
 	"dsisim/internal/obs"
@@ -45,6 +46,15 @@ type Config struct {
 	// and derives the Result's Blocks metrics. Nil costs nothing (see
 	// DESIGN.md §6).
 	Sink *obs.Sink
+	// Faults, if set and non-empty, installs a deterministic fault-injection
+	// plan on the network (internal/faultinj, docs/FAULTS.md): inter-node
+	// messages may be dropped, duplicated, or delayed. Enabling faults also
+	// enables the hardened protocol (see Retry). Nil costs nothing.
+	Faults *faultinj.Config
+	// Retry overrides the hardened protocol's parameters (proto.RetryConfig).
+	// Nil means: DefaultRetry when Faults is enabled, strict base protocol
+	// otherwise.
+	Retry *proto.RetryConfig
 }
 
 // Defaults fills unset fields with the paper's configuration.
@@ -114,6 +124,9 @@ type Result struct {
 	// Blocks holds per-block lifetime metrics derived by the coherence-event
 	// sink; nil unless Config.Sink was set. Covers the full run.
 	Blocks *obs.BlockMetrics
+	// Faults reports fault-plan statistics for the full run (all zero when
+	// Config.Faults was not set).
+	Faults faultinj.Stats
 	Errors []string
 }
 
@@ -131,6 +144,7 @@ type Machine struct {
 	ccs     []*proto.CacheCtrl
 	dcs     []*proto.DirCtrl
 	barrier *cpu.Barrier
+	plan    *faultinj.Plan
 	fails   []string
 }
 
@@ -142,7 +156,10 @@ func New(cfg Config) *Machine {
 		q:      &event.Queue{},
 		layout: mem.NewLayout(cfg.Processors),
 	}
-	m.net = netsim.New(m.q, netsim.Config{Nodes: cfg.Processors, Latency: cfg.NetworkLatency})
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		m.plan = faultinj.New(*cfg.Faults)
+	}
+	m.net = netsim.New(m.q, netsim.Config{Nodes: cfg.Processors, Latency: cfg.NetworkLatency, Faults: m.plan})
 	m.env = &proto.Env{
 		Q: m.q, Net: m.net, Layout: m.layout,
 		CheckFail: func(format string, args ...any) {
@@ -153,11 +170,18 @@ func New(cfg Config) *Machine {
 		m.env.Sink = cfg.Sink
 		m.net.SetObserver(cfg.Sink)
 	}
+	retry := cfg.Retry
+	if retry == nil && m.plan != nil {
+		// Faults without hardening would deadlock on the first lost message;
+		// install the default recovery parameters.
+		retry = proto.DefaultRetry(cfg.NetworkLatency)
+	}
 	pcfg := proto.Config{
 		Consistency:        cfg.Consistency,
 		WriteBufferEntries: cfg.WriteBufferEntries,
 		SharerLimit:        cfg.SharerLimit,
 		Policy:             cfg.Policy,
+		Retry:              retry,
 	}
 	geo := cache.Config{SizeBytes: cfg.CacheBytes, Assoc: cfg.CacheAssoc}
 	for i := 0; i < cfg.Processors; i++ {
@@ -169,11 +193,11 @@ func New(cfg Config) *Machine {
 		m.net.SetHandler(i, func(msg netsim.Message) {
 			switch msg.Kind {
 			case netsim.Inv, netsim.Recall, netsim.DataS, netsim.DataX,
-				netsim.AckX, netsim.FinalAck:
+				netsim.AckX, netsim.FinalAck, netsim.Nack:
 				cc.Handle(msg)
 			case netsim.GetS, netsim.GetX, netsim.Upgrade, netsim.InvAck,
 				netsim.InvAckData, netsim.RecallAck, netsim.WB, netsim.Repl,
-				netsim.SInvNotify, netsim.SInvWB:
+				netsim.SInvNotify, netsim.SInvWB, netsim.NackHome:
 				dc.Handle(msg)
 			default:
 				panic("machine: message kind with no controller route")
@@ -243,9 +267,21 @@ func (m *Machine) Run(prog Program) Result {
 
 	res := Result{Program: prog.Name(), TotalTime: m.q.Now(), Barriers: m.barrier.Episodes}
 	res.Errors = append(res.Errors, m.fails...)
+	res.Faults = m.net.FaultStats()
 	if steps == m.cfg.MaxSteps && m.q.Len() > 0 {
+		// Livelock watchdog: the event budget expired with work still
+		// queued. Fail with the structured dump instead of expiring
+		// silently.
 		res.Errors = append(res.Errors, fmt.Sprintf("watchdog: %d events executed without quiescing", steps))
+		res.Errors = append(res.Errors, m.diagnose()...)
 		return res
+	}
+	if m.deadlocked() {
+		// Deadlock watchdog: the queue drained but transactions are still
+		// open — a message was lost and nothing will ever retry it (or the
+		// retry cap was exceeded and the transaction gave up).
+		res.Errors = append(res.Errors, "watchdog: event queue drained without quiescing (deadlock)")
+		res.Errors = append(res.Errors, m.diagnose()...)
 	}
 
 	var last event.Time
@@ -299,4 +335,67 @@ func (m *Machine) Run(prog Program) Result {
 		res.Errors = append(res.Errors, "audit: "+err.Error())
 	}
 	return res
+}
+
+// deadlocked reports whether the machine stopped with coherence work still
+// open: outstanding cache misses, busy directory blocks, or messages in
+// flight.
+func (m *Machine) deadlocked() bool {
+	if m.net.InFlight() != 0 {
+		return true
+	}
+	for _, cc := range m.ccs {
+		if cc.Outstanding() != 0 {
+			return true
+		}
+	}
+	for _, dc := range m.dcs {
+		if dc.BusyBlocks() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// diagnoseLimit caps each section of the watchdog dump so a wedged run with
+// thousands of open transactions stays readable.
+const diagnoseLimit = 24
+
+// diagnose builds the liveness watchdog's structured dump: the stuck
+// cache-side transactions, the stuck directory transactions, and the tail
+// of the coherence event stream when a sink is attached.
+func (m *Machine) diagnose() []string {
+	out := []string{fmt.Sprintf("liveness: queue len %d, %d messages in flight", m.q.Len(), m.net.InFlight())}
+	lines := 0
+	for n, cc := range m.ccs {
+		for _, om := range cc.DumpOutstanding() {
+			if lines++; lines > diagnoseLimit {
+				break
+			}
+			out = append(out, fmt.Sprintf("liveness: node %d stuck %s for %#x txn %d (%d retries, started t=%d)",
+				n, om.Op, uint64(om.Addr), om.Txn, om.Retries, om.Start))
+		}
+	}
+	if lines > diagnoseLimit {
+		out = append(out, fmt.Sprintf("liveness: ... and %d more stuck cache transactions", lines-diagnoseLimit))
+	}
+	lines = 0
+	for n, dc := range m.dcs {
+		for _, bt := range dc.DumpBusy() {
+			if lines++; lines > diagnoseLimit {
+				break
+			}
+			out = append(out, fmt.Sprintf("liveness: home %d stuck txn %d (%v for %#x from node %d) awaiting %v via %v (%d retries, %d queued)",
+				n, bt.Txn, bt.Req, uint64(bt.Addr), bt.From, bt.Pending, bt.Action, bt.Retries, bt.Queued))
+		}
+	}
+	if lines > diagnoseLimit {
+		out = append(out, fmt.Sprintf("liveness: ... and %d more stuck directory transactions", lines-diagnoseLimit))
+	}
+	if sk := m.cfg.Sink; sk != nil {
+		for _, e := range sk.Tail(16) {
+			out = append(out, "liveness: recent "+e.String())
+		}
+	}
+	return out
 }

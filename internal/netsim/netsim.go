@@ -7,7 +7,10 @@
 // Because injection is serialized per node and flight time is constant,
 // delivery between any ordered pair of nodes is FIFO; the coherence protocol
 // in internal/proto relies on that ordering (e.g. a writeback racing an
-// invalidation always reaches the home first).
+// invalidation always reaches the home first). When a fault plan
+// (internal/faultinj) is installed, messages may additionally be dropped,
+// duplicated, or delayed — but deliveries are clamped so the per-pair FIFO
+// guarantee still holds; see docs/FAULTS.md.
 //
 // The package also owns the protocol message taxonomy so that message
 // counting — the subject of Table 3 of the paper — lives in one place.
@@ -17,6 +20,7 @@ import (
 	"fmt"
 
 	"dsisim/internal/event"
+	"dsisim/internal/faultinj"
 	"dsisim/internal/mem"
 )
 
@@ -45,13 +49,19 @@ const (
 	Repl       // replacement hint for a shared copy (no data)
 	SInvNotify // self-invalidation of a tracked shared copy (no data)
 	SInvWB     // self-invalidation of an exclusive copy (data)
+	// Recovery traffic, only present when the protocol runs hardened (under
+	// a fault plan; see docs/FAULTS.md). Neither kind counts as invalidation
+	// traffic for Table 3: they are retry-protocol overhead, not the
+	// coherence messages DSI exists to eliminate.
+	Nack     // directory refuses a request (per-block queue overflow); requester backs off and retries
+	NackHome // cache's negative acknowledgment: an Inv/Recall found no copy; home treats it as an ack
 	NumKinds
 )
 
 var kindNames = [NumKinds]string{
 	"GetS", "GetX", "Upgrade", "Inv", "Recall", "InvAck", "InvAckData",
 	"RecallAck", "DataS", "DataX", "AckX", "FinalAck", "WB", "Repl",
-	"SInvNotify", "SInvWB",
+	"SInvNotify", "SInvWB", "Nack", "NackHome",
 }
 
 func (k Kind) String() string {
@@ -61,13 +71,23 @@ func (k Kind) String() string {
 	return kindNames[k]
 }
 
+// ParseKind resolves a message-kind name as produced by Kind.String.
+func ParseKind(name string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == name {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
 // HasData reports whether messages of this kind carry a cache block and
 // therefore pay the extra 8-cycle injection overhead.
 func (k Kind) HasData() bool {
 	switch k {
 	case InvAckData, RecallAck, DataS, DataX, WB, SInvWB:
 		return true
-	case GetS, GetX, Upgrade, Inv, InvAck, Recall, AckX, FinalAck, Repl, SInvNotify:
+	case GetS, GetX, Upgrade, Inv, InvAck, Recall, AckX, FinalAck, Repl, SInvNotify, Nack, NackHome:
 		return false
 	default:
 		panic("netsim: HasData: unknown message kind")
@@ -81,10 +101,32 @@ func (k Kind) IsInvalidation() bool {
 	switch k {
 	case Inv, InvAck, InvAckData, Recall, RecallAck:
 		return true
-	case GetS, GetX, Upgrade, DataS, DataX, WB, AckX, FinalAck, Repl, SInvNotify, SInvWB:
+	case GetS, GetX, Upgrade, DataS, DataX, WB, AckX, FinalAck, Repl, SInvNotify, SInvWB, Nack, NackHome:
 		return false
 	default:
 		panic("netsim: IsInvalidation: unknown message kind")
+	}
+}
+
+// Droppable reports whether the hardened protocol can recover from losing a
+// message of this kind end-to-end. Requests, coherence actions, dataless
+// acks, and directory replies are all covered by the timeout/retry machinery
+// (the requester or the directory re-drives the transaction, and the
+// directory can replay a lost grant). The remaining kinds carry the sole
+// copy of information nothing retains — dirty data in InvAckData, RecallAck,
+// WB, and SInvWB; the replacement/self-invalidation notices Repl and
+// SInvNotify, whose loss would leave the directory tracking a copy that no
+// longer exists with no transaction to flush the staleness out. Probabilistic
+// fault plans convert drop/dup decisions on non-droppable kinds into bounded
+// delays (see internal/faultinj); scripted rules may still force-drop them.
+func (k Kind) Droppable() bool {
+	switch k {
+	case GetS, GetX, Upgrade, Inv, Recall, InvAck, DataS, DataX, AckX, FinalAck, Nack, NackHome:
+		return true
+	case InvAckData, RecallAck, WB, Repl, SInvNotify, SInvWB:
+		return false
+	default:
+		panic("netsim: Droppable: unknown message kind")
 	}
 }
 
@@ -96,11 +138,12 @@ type Message struct {
 	Dst  int
 	Addr mem.Addr // block address
 
-	// Txn tags the message with the directory transaction it belongs to, for
-	// observability only: ids are drawn from a deterministic per-run counter
-	// at miss issue and echoed through replies, coherence actions, and acks.
-	// Unsolicited traffic (WB, Repl, SInvNotify, SInvWB) carries Txn 0. The
-	// protocol never branches on this field.
+	// Txn tags the message with the directory transaction it belongs to: ids
+	// are drawn from a deterministic per-run counter at miss issue and echoed
+	// through replies, coherence actions, and acks. Unsolicited traffic (WB,
+	// Repl, SInvNotify, SInvWB) carries Txn 0. The base protocol never
+	// branches on this field; the hardened protocol uses it to deduplicate
+	// retransmitted requests and to reject stale acknowledgments.
 	Txn uint64
 
 	Data mem.Value // block contents, for kinds with HasData
@@ -172,16 +215,29 @@ type Handler func(Message)
 // package importing it; a nil observer costs one predictable branch per
 // send/delivery and zero allocations.
 type Observer interface {
-	// MsgSent fires inside Send, after the arrival time is computed.
+	// MsgSent fires inside Send, after the arrival time is computed. For a
+	// duplicated message it fires once per delivered copy; for a dropped
+	// message it does not fire at all (MsgFault reports the loss).
 	MsgSent(now event.Time, m Message, arrive event.Time)
 	// MsgDelivered fires at delivery time, before the destination handler.
 	MsgDelivered(now event.Time, m Message)
+	// MsgFault fires when the fault plan drops, duplicates, or delays m.
+	// delay is the extra delivery delay (for Delay) or the spacing of the
+	// second copy (for Duplicate); zero for Drop.
+	MsgFault(now event.Time, m Message, action faultinj.Action, delay event.Time)
 }
 
 // Config parameterizes a Network.
 type Config struct {
 	Nodes   int
 	Latency event.Time // constant flight time, 100 or 1000 in the paper
+
+	// Faults, when non-nil, is consulted on every non-local Send. With a
+	// plan installed the network additionally clamps every delivery to the
+	// latest delivery already scheduled for its ordered (src, dst) pair, so
+	// jitter and duplication never violate the per-pair FIFO guarantee the
+	// protocol depends on. nil costs one predictable branch per send.
+	Faults *faultinj.Plan
 }
 
 // Network is the interconnect instance. It is driven entirely by the event
@@ -194,6 +250,12 @@ type Network struct {
 	counts   Counts
 	inflight int
 	obs      Observer
+
+	// faults and pairLast exist only when a fault plan is installed:
+	// pairLast[src*nodes+dst] is the latest delivery time scheduled for that
+	// ordered pair, the floor for the pair's next delivery.
+	faults   *faultinj.Plan
+	pairLast []event.Time
 
 	// free is the delivery-record free list. A simulation is single-threaded
 	// (everything runs inside the event loop), so a plain stack suffices; in
@@ -253,12 +315,17 @@ func New(q *event.Queue, cfg Config) *Network {
 	if cfg.Latency < 0 {
 		panic("netsim: negative latency")
 	}
-	return &Network{
+	n := &Network{
 		q:        q,
 		latency:  cfg.Latency,
 		nis:      make([]event.Server, cfg.Nodes),
 		handlers: make([]Handler, cfg.Nodes),
 	}
+	if cfg.Faults != nil {
+		n.faults = cfg.Faults
+		n.pairLast = make([]event.Time, cfg.Nodes*cfg.Nodes)
+	}
+	return n
 }
 
 // SetHandler registers the delivery callback for node's incoming messages.
@@ -289,8 +356,10 @@ func InjectionTime(k Kind) event.Time {
 }
 
 // Send injects m at its source NI. Local messages (Src == Dst) bypass the
-// network: they are delivered after LocalDelay and not counted. The return
-// value is the time the message will be delivered.
+// network: they are delivered after LocalDelay, are not counted, and are
+// exempt from fault injection. The return value is the time the message will
+// be delivered; if the fault plan drops the message it is the time delivery
+// would have happened, useful only as a scheduling hint.
 //
 //dsi:hotpath
 func (n *Network) Send(m Message) event.Time {
@@ -302,14 +371,25 @@ func (n *Network) Send(m Message) event.Time {
 		panic(fmt.Sprintf("netsim: no handler at node %d for %v", m.Dst, m))
 	}
 	now := n.q.Now()
-	var arrive event.Time
 	if m.Src == m.Dst {
-		arrive = now + LocalDelay
-	} else {
-		_, injected := n.nis[m.Src].Admit(now, InjectionTime(m.Kind))
-		arrive = injected + n.latency
-		n.counts.ByKind[m.Kind]++
+		arrive := now + LocalDelay
+		n.sched(m, now, arrive)
+		return arrive
 	}
+	_, injected := n.nis[m.Src].Admit(now, InjectionTime(m.Kind))
+	arrive := injected + n.latency
+	n.counts.ByKind[m.Kind]++
+	if n.faults == nil {
+		n.sched(m, now, arrive)
+		return arrive
+	}
+	return n.faultySend(m, now, arrive)
+}
+
+// sched schedules delivery of m at arrive and notifies the observer.
+//
+//dsi:hotpath
+func (n *Network) sched(m Message, now, arrive event.Time) {
 	n.inflight++
 	if n.obs != nil {
 		n.obs.MsgSent(now, m, arrive)
@@ -317,7 +397,71 @@ func (n *Network) Send(m Message) event.Time {
 	d := n.getDelivery()
 	d.msg = m
 	n.q.AtCall(arrive, deliver, d)
+}
+
+// faultySend consults the fault plan for a non-local message and executes
+// the decision. Every surviving delivery (including duplicate copies) passes
+// through clampFIFO, so faults perturb timing but never per-pair ordering.
+//
+//dsi:hotpath
+func (n *Network) faultySend(m Message, now, arrive event.Time) event.Time {
+	dec := n.faults.Decide(int(m.Kind), m.Src, m.Dst, m.Kind.Droppable())
+	switch dec.Action {
+	case faultinj.Deliver:
+		arrive = n.clampFIFO(m, arrive)
+		n.sched(m, now, arrive)
+		return arrive
+	case faultinj.Drop:
+		if n.obs != nil {
+			n.obs.MsgFault(now, m, faultinj.Drop, 0)
+		}
+		return arrive
+	case faultinj.Duplicate:
+		arrive = n.clampFIFO(m, arrive)
+		copyAt := n.clampFIFO(m, arrive+dec.Delay)
+		if n.obs != nil {
+			n.obs.MsgFault(now, m, faultinj.Duplicate, copyAt-arrive)
+		}
+		n.sched(m, now, arrive)
+		// The copy materializes inside the network but is real traffic on
+		// the receiving side; count it.
+		n.counts.ByKind[m.Kind]++
+		n.sched(m, now, copyAt)
+		return arrive
+	case faultinj.Delay:
+		arrive = n.clampFIFO(m, arrive+dec.Delay)
+		if n.obs != nil {
+			n.obs.MsgFault(now, m, faultinj.Delay, dec.Delay)
+		}
+		n.sched(m, now, arrive)
+		return arrive
+	default:
+		panic("netsim: invalid fault action")
+	}
+}
+
+// clampFIFO floors arrive to the latest delivery already scheduled for m's
+// ordered (src, dst) pair and records the result as the pair's new floor.
+// Ties are broken by event-queue insertion order, which is send order, so
+// per-pair FIFO delivery survives any fault plan.
+//
+//dsi:hotpath
+func (n *Network) clampFIFO(m Message, arrive event.Time) event.Time {
+	idx := m.Src*len(n.nis) + m.Dst
+	if last := n.pairLast[idx]; arrive < last {
+		arrive = last
+	}
+	n.pairLast[idx] = arrive
 	return arrive
+}
+
+// FaultStats returns the fault plan's decision counters (zero when no plan
+// is installed).
+func (n *Network) FaultStats() faultinj.Stats {
+	if n.faults == nil {
+		return faultinj.Stats{}
+	}
+	return n.faults.Stats()
 }
 
 // NIBusy returns cumulative injection occupancy of a node's NI, for

@@ -7,6 +7,7 @@ import (
 
 	"dsisim/internal/cache"
 	"dsisim/internal/directory"
+	"dsisim/internal/faultinj"
 	"dsisim/internal/netsim"
 )
 
@@ -107,6 +108,17 @@ func (s *Sink) WriteChrome(w io.Writer) error {
 				put(`{"ph":"e","pid":%d,"tid":1,"ts":%d,"cat":"txn","id":%d,"name":%q}`,
 					e.Node, e.Cycle, e.Txn,
 					fmt.Sprintf("txn end %#x", uint64(e.Addr)))
+			case Fault:
+				// Dropped messages never emit MsgSend, so flow matching is
+				// undisturbed; the fault itself is an instant marker on the
+				// sender's lane.
+				put(`{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%d,"name":%q,"args":{"blk":"%#x","to":%d,"txn":%d}}`,
+					e.Node, dirLane(sentByDir(e.Msg)), e.Cycle,
+					fmt.Sprintf("fault %s %s", faultinj.Action(e.Old), e.Msg),
+					uint64(e.Addr), e.Peer, e.Txn)
+			case Timeout:
+				put(`{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%d,"name":%q,"args":{"blk":"%#x","txn":%d,"retry":%d}}`,
+					e.Node, int(e.New), e.Cycle, "retry timeout", uint64(e.Addr), e.Txn, e.Old)
 			}
 		})
 	}
@@ -119,10 +131,12 @@ func (s *Sink) WriteChrome(w io.Writer) error {
 // (requests, acks, and unsolicited traffic).
 func sentByDir(k netsim.Kind) bool {
 	switch k {
-	case netsim.Inv, netsim.Recall, netsim.DataS, netsim.DataX, netsim.AckX, netsim.FinalAck:
+	case netsim.Inv, netsim.Recall, netsim.DataS, netsim.DataX, netsim.AckX, netsim.FinalAck,
+		netsim.Nack:
 		return true
 	case netsim.GetS, netsim.GetX, netsim.Upgrade, netsim.InvAck, netsim.InvAckData,
-		netsim.RecallAck, netsim.WB, netsim.Repl, netsim.SInvNotify, netsim.SInvWB:
+		netsim.RecallAck, netsim.WB, netsim.Repl, netsim.SInvNotify, netsim.SInvWB,
+		netsim.NackHome:
 		return false
 	default:
 		panic("obs: sentByDir: unknown message kind")

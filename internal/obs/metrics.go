@@ -98,6 +98,11 @@ type BlockMetrics struct {
 	EchoLosses int64
 	// TearOffGrants counts untracked (tear-off) grants.
 	TearOffGrants int64
+	// FaultsInjected counts messages the fault plan dropped, duplicated, or
+	// delayed; RetryTimeouts counts hardened-controller timer firings. Both
+	// are zero outside fault-injection runs (docs/FAULTS.md).
+	FaultsInjected int64
+	RetryTimeouts  int64
 }
 
 // blockTrack is the streaming per-(node, block) state behind BlockMetrics.
@@ -181,6 +186,10 @@ func (s *Sink) observe(e *Event) {
 			m.TxnLatency.Observe(int64(e.Cycle - start))
 			delete(s.open, e.Txn)
 		}
+	case Fault:
+		m.FaultsInjected++
+	case Timeout:
+		m.RetryTimeouts++
 	case MsgRecv, DirState:
 		// No streaming metrics derive from deliveries or directory-side
 		// transitions; they are retained for the ring buffer only.
@@ -228,6 +237,10 @@ func (m *BlockMetrics) Tables() []stats.Table {
 		fmt.Sprint(m.PrematureSelfInvals))
 	counters.AddRow("version echo losses", fmt.Sprint(m.EchoLosses))
 	counters.AddRow("tear-off grants", fmt.Sprint(m.TearOffGrants))
+	if m.FaultsInjected > 0 || m.RetryTimeouts > 0 {
+		counters.AddRow("faults injected", fmt.Sprint(m.FaultsInjected))
+		counters.AddRow("retry timeouts", fmt.Sprint(m.RetryTimeouts))
+	}
 
 	res := stats.Table{
 		Title:  "Time in state before leaving it (cycles)",

@@ -46,6 +46,7 @@ import (
 	"dsisim/internal/cache"
 	"dsisim/internal/directory"
 	"dsisim/internal/event"
+	"dsisim/internal/faultinj"
 	"dsisim/internal/mem"
 	"dsisim/internal/netsim"
 )
@@ -80,13 +81,23 @@ const (
 	TxnStart
 	// TxnEnd: all acknowledgments arrived and the transaction completed.
 	TxnEnd
+	// Fault: the fault plan dropped, duplicated, or delayed a message sent
+	// from Node to Peer. Msg holds the message kind and Old the
+	// faultinj.Action code.
+	Fault
+	// Timeout: a hardened controller's per-transaction timer fired and the
+	// request (cache side, New == 0) or the outstanding coherence actions
+	// (directory side, New == 1) were re-sent. Old holds the retry count
+	// (clamped to 255).
+	Timeout
 	// NumKinds bounds the enumeration.
 	NumKinds
 )
 
 var kindNames = [NumKinds]string{
 	"msg-send", "msg-recv", "cache-state", "dir-state", "self-inval",
-	"fifo-displace", "tearoff-grant", "txn-start", "txn-end",
+	"fifo-displace", "tearoff-grant", "txn-start", "txn-end", "fault",
+	"timeout",
 }
 
 func (k Kind) String() string {
@@ -171,6 +182,16 @@ func (e Event) String() string {
 	case TxnEnd:
 		return fmt.Sprintf("[%8d] node%-2d dir   txn-end   from %d blk=%#x txn=%d",
 			e.Cycle, e.Node, e.Peer, uint64(e.Addr), e.Txn)
+	case Fault:
+		return fmt.Sprintf("[%8d] node%-2d x %-7s %-10s ->%d blk=%#x txn=%d",
+			e.Cycle, e.Node, faultinj.Action(e.Old), e.Msg, e.Peer, uint64(e.Addr), e.Txn)
+	case Timeout:
+		side := "cache"
+		if e.New == 1 {
+			side = "dir"
+		}
+		return fmt.Sprintf("[%8d] node%-2d %-5s timeout retry=%d blk=%#x txn=%d",
+			e.Cycle, e.Node, side, e.Old, uint64(e.Addr), e.Txn)
 	default:
 		return fmt.Sprintf("[%8d] node%-2d %s blk=%#x", e.Cycle, e.Node, e.Kind, uint64(e.Addr))
 	}
@@ -324,6 +345,30 @@ func (s *Sink) Events() []Event {
 	return out
 }
 
+// Tail returns a copy of the last n retained events (fewer when the stream
+// is shorter). The liveness watchdog uses it to attach recent history to
+// diagnostic dumps.
+func (s *Sink) Tail(n int) []Event {
+	if s == nil || n <= 0 {
+		return nil
+	}
+	if l := s.Len(); n > l {
+		n = l
+	}
+	out := make([]Event, n)
+	i := n
+	for c := len(s.chunks) - 1; c >= 0 && i > 0; c-- {
+		chunk := s.chunks[c]
+		take := len(chunk)
+		if take > i {
+			take = i
+		}
+		copy(out[i-take:], chunk[len(chunk)-take:])
+		i -= take
+	}
+	return out
+}
+
 // emit records e: metrics always, the event record unless capped.
 func (s *Sink) emit(e Event) {
 	if s == nil {
@@ -391,6 +436,33 @@ func (s *Sink) MsgDelivered(now event.Time, m netsim.Message) {
 	s.emit(Event{
 		Cycle: now, Kind: MsgRecv, Node: int32(m.Dst), Peer: int32(m.Src),
 		Addr: mem.BlockOf(m.Addr), Txn: m.Txn, Msg: m.Kind, Flags: msgFlags(m),
+	})
+}
+
+// MsgFault implements netsim.Observer: the fault plan applied action to m.
+func (s *Sink) MsgFault(now event.Time, m netsim.Message, action faultinj.Action, delay event.Time) {
+	_ = delay
+	s.emit(Event{
+		Cycle: now, Kind: Fault, Node: int32(m.Src), Peer: int32(m.Dst),
+		Addr: mem.BlockOf(m.Addr), Txn: m.Txn, Msg: m.Kind,
+		Old: uint8(action), Flags: msgFlags(m),
+	})
+}
+
+// OnRetryTimeout records a hardened controller's transaction timer firing at
+// node: the cache controller re-sending its request (dir == false) or the
+// home directory re-sending outstanding invalidations/recalls (dir == true).
+func (s *Sink) OnRetryTimeout(now event.Time, node int, b mem.Addr, txn uint64, retries int, dir bool) {
+	if retries > 255 {
+		retries = 255
+	}
+	var side uint8
+	if dir {
+		side = 1
+	}
+	s.emit(Event{
+		Cycle: now, Kind: Timeout, Node: int32(node), Addr: b, Txn: txn,
+		Old: uint8(retries), New: side,
 	})
 }
 

@@ -42,6 +42,14 @@ type mshr struct {
 	// FinalAck.
 	waitingFinal bool
 	res          Result
+
+	// Hardened protocol (robust.go): the transaction id requests carry (so
+	// retransmissions are deduplicated at the directory), the
+	// retransmission count, and the timer generation — the armed timer
+	// whose generation no longer matches is stale and fires as a no-op.
+	txn     uint64
+	retries int
+	tgen    uint32
 }
 
 // wbEntry is one coalescing write buffer slot: a whole cache block's worth
@@ -60,6 +68,13 @@ type wbEntry struct {
 	// blockedStores were issued after the block's data arrived but left the
 	// cache again; they re-execute when the entry retires.
 	blockedStores []pendingStore
+
+	// Hardened protocol (robust.go): while pendingFinal, the entry owns a
+	// probe timer for its lost-FinalAck recovery; see mshr for the field
+	// semantics.
+	txn     uint64
+	retries int
+	tgen    uint32
 }
 
 // coalesce folds a store into the entry.
@@ -104,6 +119,13 @@ type CacheStats struct {
 	RecallsRecv     int64
 	WBFullStalls    int64
 	ReadWBStalls    int64
+
+	// Hardened protocol only (zero when Config.Retry is nil).
+	Timeouts      int64 // retry timers that fired for a live transaction
+	Retries       int64 // requests/probes retransmitted
+	NacksRecv     int64 // directory Nacks received (overload backoff)
+	NackHomesSent int64 // re-sent Inv/Recall answered "no copy here"
+	StraysIgnored int64 // duplicate/stale messages tolerated instead of failed
 }
 
 // CacheCtrl is the cache controller of one node: it services the
@@ -136,6 +158,7 @@ type CacheCtrl struct {
 	wbFree    []*wbEntry
 	sendFree  []*sendCall
 	flushFree []*flushCall
+	rtFree    []*retryCall
 
 	stats CacheStats
 }
@@ -375,6 +398,24 @@ func (cc *CacheCtrl) issueMiss(b mem.Addr, ms *mshr) {
 		cc.env.fail("cache %d: multiple outstanding misses under SC", cc.node)
 	}
 	cc.mshrs[b] = ms
+	// Transaction ids are drawn unconditionally: the counter advances with
+	// the protocol's own deterministic order, so ids are stable run to run
+	// whether or not a sink is attached (and cost nothing either way).
+	// Retransmissions reuse the id so the directory can deduplicate them.
+	ms.txn = cc.env.NextTxn()
+	cc.sendRequest(b, ms, true)
+	if cc.cfg.Retry != nil {
+		cc.armMissTimer(b, ms)
+	}
+}
+
+// sendRequest builds and injects the miss request for ms, deriving the kind
+// from the current cache state. It serves both the initial issue and
+// hardened-protocol retransmissions (first distinguishes them so counters
+// are not inflated by retries).
+//
+//dsi:hotpath
+func (cc *CacheCtrl) sendRequest(b mem.Addr, ms *mshr, first bool) {
 	kind := netsim.GetS
 	var ver uint8
 	var hasVer bool
@@ -385,24 +426,27 @@ func (cc *CacheCtrl) issueMiss(b mem.Addr, ms *mshr) {
 		if f, ok := cc.c.Peek(b); ok && f.State == cache.Shared {
 			kind = netsim.Upgrade
 			ver, hasVer = f.Ver, f.HasVer
-			cc.stats.Upgrades++
+			if first {
+				cc.stats.Upgrades++
+			}
 		} else {
 			ver, hasVer = cc.c.EchoVersion(b)
 		}
 	}
 	_, done := cc.server.Admit(cc.env.Q.Now(), CacheOccupancy)
-	var sc *sendCall
-	if n := len(cc.sendFree); n > 0 {
-		sc = cc.sendFree[n-1]
-		cc.sendFree = cc.sendFree[:n-1]
-	} else {
-		sc = &sendCall{cc: cc}
-	}
-	// Transaction ids are drawn unconditionally: the counter advances with
-	// the protocol's own deterministic order, so ids are stable run to run
-	// whether or not a sink is attached (and cost nothing either way).
-	sc.msg = netsim.Message{Kind: kind, Dst: cc.home(b), Addr: b, Ver: ver, HasVer: hasVer, Txn: cc.env.NextTxn()}
+	sc := cc.newSendCall()
+	sc.msg = netsim.Message{Kind: kind, Dst: cc.home(b), Addr: b, Ver: ver, HasVer: hasVer, Txn: ms.txn}
 	cc.env.Q.AtCall(done, doSendCall, sc)
+}
+
+//dsi:hotpath
+func (cc *CacheCtrl) newSendCall() *sendCall {
+	if n := len(cc.sendFree); n > 0 {
+		sc := cc.sendFree[n-1]
+		cc.sendFree = cc.sendFree[:n-1]
+		return sc
+	}
+	return &sendCall{cc: cc}
 }
 
 // install places an arriving block, emitting any displacement writeback.
@@ -597,6 +641,8 @@ func (cc *CacheCtrl) Handle(m netsim.Message) {
 		cc.onAckX(m)
 	case netsim.FinalAck:
 		cc.onFinalAck(m)
+	case netsim.Nack:
+		cc.onNack(m)
 	default:
 		cc.env.fail("cache %d: unexpected message %v", cc.node, m)
 	}
@@ -618,6 +664,15 @@ func (cc *CacheCtrl) onInv(m netsim.Message) {
 		cc.send(netsim.Message{Kind: netsim.InvAckData, Dst: m.Src, Addr: b, Data: ev.Data, Txn: m.Txn})
 		return
 	}
+	if !had && cc.cfg.Retry != nil {
+		// Hardened: a re-sent Inv found no copy (the real ack or drop
+		// notice is FIFO-ordered ahead of this reply). Answer with the
+		// negative ack so the taxonomy stays clean; the directory consumes
+		// it like an InvAck.
+		cc.stats.NackHomesSent++
+		cc.send(netsim.Message{Kind: netsim.NackHome, Dst: m.Src, Addr: b, Txn: m.Txn})
+		return
+	}
 	cc.send(netsim.Message{Kind: netsim.InvAck, Dst: m.Src, Addr: b, Txn: m.Txn})
 }
 
@@ -633,13 +688,28 @@ func (cc *CacheCtrl) onRecall(m netsim.Message) {
 	}
 	// Copy already written back or self-invalidated; the data is on its way
 	// to the home ahead of this ack.
+	if cc.cfg.Retry != nil {
+		if _, held := cc.c.Peek(b); !held {
+			cc.stats.NackHomesSent++
+			cc.send(netsim.Message{Kind: netsim.NackHome, Dst: m.Src, Addr: b, Txn: m.Txn})
+			return
+		}
+	}
 	cc.send(netsim.Message{Kind: netsim.InvAck, Dst: m.Src, Addr: b, Txn: m.Txn})
 }
 
 func (cc *CacheCtrl) onDataS(m netsim.Message) {
 	b := mem.BlockOf(m.Addr)
 	ms := cc.mshrs[b]
-	if ms == nil || ms.kind != opRead {
+	if ms == nil || ms.kind != opRead || (cc.cfg.Retry != nil && ms.txn != m.Txn) {
+		if cc.cfg.Retry != nil {
+			// Hardened: a duplicated or replayed grant whose miss already
+			// completed (the transaction id no longer matches any live
+			// miss). Per-pair FIFO guarantees a fresh miss's real grant
+			// cannot be overtaken by a stale one, so dropping is safe.
+			cc.stats.StraysIgnored++
+			return
+		}
 		cc.env.fail("cache %d: unexpected DataS for %#x", cc.node, uint64(b))
 		return
 	}
@@ -654,8 +724,38 @@ func (cc *CacheCtrl) onDataS(m netsim.Message) {
 func (cc *CacheCtrl) onDataX(m netsim.Message) {
 	b := mem.BlockOf(m.Addr)
 	ms := cc.mshrs[b]
+	hardened := cc.cfg.Retry != nil
 	if ms == nil {
+		if hardened {
+			cc.recoverGrantReplay(b, m)
+			return
+		}
 		cc.env.fail("cache %d: unexpected DataX for %#x", cc.node, uint64(b))
+		return
+	}
+	if hardened && ms.txn != m.Txn {
+		cc.stats.StraysIgnored++
+		return
+	}
+	if ms.waitingFinal {
+		// The grant was already consumed and the swap applied; installing
+		// again would recompute OldWord from post-swap contents. Only a
+		// replayed grant with Pending cleared — standing in for the lost
+		// FinalAck — completes the operation here.
+		if hardened && !m.Pending {
+			delete(cc.mshrs, b)
+			res := ms.res
+			res.Done = cc.env.Q.Now()
+			cont := ms.cont
+			cc.freeMshr(ms)
+			cont(res)
+			return
+		}
+		if hardened {
+			cc.stats.StraysIgnored++
+			return
+		}
+		cc.env.fail("cache %d: duplicate DataX for %#x", cc.node, uint64(b))
 		return
 	}
 	delete(cc.mshrs, b)
@@ -676,7 +776,12 @@ func (cc *CacheCtrl) onDataX(m netsim.Message) {
 func (cc *CacheCtrl) onAckX(m netsim.Message) {
 	b := mem.BlockOf(m.Addr)
 	ms := cc.mshrs[b]
-	if ms == nil || ms.kind == opRead {
+	if ms == nil || ms.kind == opRead || ms.waitingFinal ||
+		(cc.cfg.Retry != nil && ms.txn != m.Txn) {
+		if cc.cfg.Retry != nil {
+			cc.stats.StraysIgnored++
+			return
+		}
 		cc.env.fail("cache %d: unexpected AckX for %#x", cc.node, uint64(b))
 		return
 	}
@@ -708,6 +813,10 @@ func (cc *CacheCtrl) applyGrant(b mem.Addr, ms *mshr, m netsim.Message) {
 		cc.env.fail("cache %d: read grant routed to applyGrant for %#x", cc.node, uint64(b))
 	case opWrite:
 		if cc.cfg.Consistency == WC {
+			// Carry the transaction identity (and timer generation, so the
+			// retired miss timer goes stale) over to the entry: while
+			// pendingFinal it owns the lost-FinalAck probe timer.
+			txnID, gen := ms.txn, ms.tgen
 			cc.freeMshr(ms)
 			e := cc.entries[b]
 			if e == nil {
@@ -723,6 +832,10 @@ func (cc *CacheCtrl) applyGrant(b mem.Addr, ms *mshr, m netsim.Message) {
 			}
 			if m.Pending {
 				e.pendingFinal = true
+				if cc.cfg.Retry != nil {
+					e.txn, e.tgen, e.retries = txnID, gen, 0
+					cc.armFinalTimer(b, e)
+				}
 			} else {
 				cc.retire(e)
 			}
@@ -753,8 +866,13 @@ func (cc *CacheCtrl) applyGrant(b mem.Addr, ms *mshr, m netsim.Message) {
 
 func (cc *CacheCtrl) onFinalAck(m netsim.Message) {
 	b := mem.BlockOf(m.Addr)
+	hardened := cc.cfg.Retry != nil
 	if e := cc.entries[b]; e != nil {
-		if !e.pendingFinal {
+		if !e.pendingFinal || (hardened && e.txn != m.Txn) {
+			if hardened {
+				cc.stats.StraysIgnored++
+				return
+			}
 			cc.env.fail("cache %d: FinalAck for unpending entry %#x", cc.node, uint64(b))
 			return
 		}
@@ -762,12 +880,21 @@ func (cc *CacheCtrl) onFinalAck(m netsim.Message) {
 		return
 	}
 	if ms := cc.mshrs[b]; ms != nil && ms.waitingFinal {
+		if hardened && ms.txn != m.Txn {
+			cc.stats.StraysIgnored++
+			return
+		}
 		delete(cc.mshrs, b)
 		res := ms.res
 		res.Done = cc.env.Q.Now()
 		cont := ms.cont
 		cc.freeMshr(ms)
 		cont(res)
+		return
+	}
+	if hardened {
+		// Duplicated FinalAck whose entry already retired.
+		cc.stats.StraysIgnored++
 		return
 	}
 	cc.env.fail("cache %d: stray FinalAck for %#x", cc.node, uint64(b))

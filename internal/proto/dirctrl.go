@@ -22,9 +22,19 @@ type txn struct {
 	ver     uint8
 	hasVer  bool
 
-	needAcks int
+	// pending is the set of nodes whose acknowledgment is still missing;
+	// the transaction completes when it empties. action is the coherence
+	// action (Inv or Recall) the hardened protocol re-sends to pending
+	// nodes on timeout.
+	pending  directory.NodeSet
+	action   netsim.Kind
 	ownerWas int // node whose exclusive copy is being recalled/invalidated, -1 if none
 	prev     directory.State
+
+	// Hardened protocol (robust.go): retransmission count and timer
+	// generation; see mshr in cachectrl.go for the field semantics.
+	retries int
+	tgen    uint32
 
 	// ownerRetains: the recalled owner answered with a RecallAck, so it
 	// still holds a downgraded shared copy. If its writeback raced the
@@ -66,6 +76,14 @@ type DirStats struct {
 	// (limited-pointer directories only).
 	PointerOverflows int64
 	Queued           int64 // requests that waited behind a busy block
+
+	// Hardened protocol only (zero when Config.Retry is nil).
+	Timeouts    int64 // retry timers that fired for a live transaction
+	RetriesSent int64 // Inv/Recall messages re-sent to unacknowledged nodes
+	NacksSent   int64 // requests refused because the block's queue was full
+	Replays     int64 // grants re-sent from directory state for lost replies
+	DupRequests int64 // retransmitted requests deduplicated and dropped
+	StrayAcks   int64 // duplicate/stale acknowledgments tolerated
 }
 
 // DirCtrl is the directory controller of one home node.
@@ -85,6 +103,8 @@ type DirCtrl struct {
 	calls []*dirCall
 	// txns is the free list of completed transaction records.
 	txns []*txn
+	// rtFree is the free list of pooled retry-timer records (robust.go).
+	rtFree []*dirRetryCall
 
 	stats DirStats
 }
@@ -156,6 +176,21 @@ func (dc *DirCtrl) newTxn(init txn) *txn {
 	return t
 }
 
+// openTxn registers t as block b's live transaction: it records the
+// coherence action to re-send on timeout, marks the block busy, emits the
+// transaction-start event, and — hardened only — arms the retry timer.
+// Callers send the initial action messages themselves.
+func (dc *DirCtrl) openTxn(b mem.Addr, t *txn, action netsim.Kind) {
+	t.action = action
+	dc.busy[b] = t
+	if sk := dc.env.Sink; sk != nil {
+		sk.OnTxnStart(dc.env.Q.Now(), dc.node, b, t.req.Txn, t.req.Src, t.req.Kind)
+	}
+	if dc.cfg.Retry != nil {
+		dc.armTxnTimer(b, t)
+	}
+}
+
 // Handle dispatches one incoming message. It is the node's network handler
 // for directory-bound kinds.
 //
@@ -170,6 +205,11 @@ func (dc *DirCtrl) Handle(m netsim.Message) {
 		dc.onAck(m, true, false)
 	case netsim.RecallAck:
 		dc.onAck(m, true, true)
+	case netsim.NackHome:
+		// "No copy here": a re-sent Inv/Recall found the copy already gone.
+		// Consumed like a dataless ack — the real data or drop notice is
+		// FIFO-ordered ahead of it.
+		dc.onAck(m, false, false)
 	case netsim.WB:
 		dc.onWriteback(m, core.CauseReplace)
 	case netsim.SInvWB:
@@ -203,9 +243,23 @@ func (dc *DirCtrl) admit(m netsim.Message) {
 //dsi:hotpath
 func (dc *DirCtrl) process(m netsim.Message) {
 	b := mem.BlockOf(m.Addr)
-	if dc.busy[b] != nil {
+	if t := dc.busy[b]; t != nil {
+		if dc.cfg.Retry != nil {
+			if dc.isDuplicate(t, b, m) {
+				dc.stats.DupRequests++
+				return
+			}
+			if lim := dc.cfg.Retry.QueueLimit; lim > 0 && len(dc.queue[b]) >= lim {
+				dc.stats.NacksSent++
+				dc.send(netsim.Message{Kind: netsim.Nack, Dst: m.Src, Addr: b, Txn: m.Txn})
+				return
+			}
+		}
 		dc.stats.Queued++
 		dc.queue[b] = append(dc.queue[b], m)
+		return
+	}
+	if dc.cfg.Retry != nil && dc.replayed(b, m) {
 		return
 	}
 	dc.stats.Requests++
@@ -259,14 +313,11 @@ func (dc *DirCtrl) processRead(m netsim.Message) {
 		t := dc.newTxn(txn{
 			req: m, isRead: true,
 			si: si, tearOff: tearOff, ver: ver, hasVer: hasVer,
-			needAcks: 1, ownerWas: e.Owner, prev: e.State,
+			pending: directory.NodeSet(0).Add(e.Owner), ownerWas: e.Owner, prev: e.State,
 			procDone: dc.env.Q.Now(),
 		})
-		dc.busy[b] = t
 		dc.stats.Recalls++
-		if sk := dc.env.Sink; sk != nil {
-			sk.OnTxnStart(dc.env.Q.Now(), dc.node, b, m.Txn, m.Src, m.Kind)
-		}
+		dc.openTxn(b, t, netsim.Recall)
 		dc.send(netsim.Message{Kind: netsim.Recall, Dst: e.Owner, Addr: b, Txn: m.Txn})
 		return
 	}
@@ -295,13 +346,10 @@ func (dc *DirCtrl) processRead(m netsim.Message) {
 				t := dc.newTxn(txn{
 					req: m, isRead: true,
 					si: si, tearOff: false, ver: ver, hasVer: hasVer,
-					needAcks: 1, ownerWas: -1, prev: e.State,
+					pending: directory.NodeSet(0).Add(victim), ownerWas: -1, prev: e.State,
 					procDone: dc.env.Q.Now(),
 				})
-				dc.busy[b] = t
-				if sk := dc.env.Sink; sk != nil {
-					sk.OnTxnStart(dc.env.Q.Now(), dc.node, b, m.Txn, m.Src, m.Kind)
-				}
+				dc.openTxn(b, t, netsim.Inv)
 				dc.send(netsim.Message{Kind: netsim.Inv, Dst: victim, Addr: b, Txn: m.Txn})
 				return
 			}
@@ -337,15 +385,12 @@ func (dc *DirCtrl) processMigratoryRead(m netsim.Message, e *directory.Entry) {
 	if e.State == directory.Exclusive {
 		t := dc.newTxn(txn{
 			req: m, si: si, ver: ver, hasVer: hasVer,
-			needAcks: 1, ownerWas: e.Owner, prev: e.State,
+			pending: directory.NodeSet(0).Add(e.Owner), ownerWas: e.Owner, prev: e.State,
 			procDone:      dc.env.Q.Now(),
 			migratoryRead: true,
 		})
-		dc.busy[b] = t
 		dc.stats.Invalidates++
-		if sk := dc.env.Sink; sk != nil {
-			sk.OnTxnStart(dc.env.Q.Now(), dc.node, b, m.Txn, m.Src, m.Kind)
-		}
+		dc.openTxn(b, t, netsim.Inv)
 		dc.send(netsim.Message{Kind: netsim.Inv, Dst: e.Owner, Addr: b, Txn: m.Txn})
 		return
 	}
@@ -403,26 +448,20 @@ func (dc *DirCtrl) processWrite(m netsim.Message) {
 		}
 		t := dc.newTxn(txn{
 			req: m, si: si, ver: ver, hasVer: hasVer,
-			needAcks: 1, ownerWas: e.Owner, prev: e.State,
+			pending: directory.NodeSet(0).Add(e.Owner), ownerWas: e.Owner, prev: e.State,
 			procDone: dc.env.Q.Now(),
 		})
-		dc.busy[b] = t
 		dc.stats.Invalidates++
-		if sk := dc.env.Sink; sk != nil {
-			sk.OnTxnStart(dc.env.Q.Now(), dc.node, b, m.Txn, m.Src, m.Kind)
-		}
+		dc.openTxn(b, t, netsim.Inv)
 		dc.send(netsim.Message{Kind: netsim.Inv, Dst: e.Owner, Addr: b, Txn: m.Txn})
 
 	case e.State.IsShared() && !others.Empty():
 		t := dc.newTxn(txn{
 			req: m, upgrade: upgrade, si: si, ver: ver, hasVer: hasVer,
-			needAcks: others.Count(), ownerWas: -1, prev: e.State,
+			pending: others, ownerWas: -1, prev: e.State,
 			procDone: dc.env.Q.Now(),
 		})
-		dc.busy[b] = t
-		if sk := dc.env.Sink; sk != nil {
-			sk.OnTxnStart(dc.env.Q.Now(), dc.node, b, m.Txn, m.Src, m.Kind)
-		}
+		dc.openTxn(b, t, netsim.Inv)
 		e.Sharers = 0
 		others.ForEach(func(n int) {
 			dc.stats.Invalidates++
@@ -573,12 +612,32 @@ func (dc *DirCtrl) dequeue(b mem.Addr) {
 	dc.admit(next)
 }
 
-// onAck consumes an invalidation/recall acknowledgment.
+// onAck consumes an invalidation/recall acknowledgment (or a NackHome
+// standing in for one). The pending set identifies exactly which nodes may
+// still acknowledge, so duplicates and strays are detected by membership
+// rather than by count; the hardened protocol tolerates dataless strays
+// (duplicated acks, NackHomes answering re-sent actions after the real ack)
+// while data-carrying strays remain invariant violations — the fault plan
+// never drops or duplicates data carriers, so a legitimate one is
+// impossible.
 func (dc *DirCtrl) onAck(m netsim.Message, hasData, downgraded bool) {
 	b := mem.BlockOf(m.Addr)
+	hardened := dc.cfg.Retry != nil
 	t := dc.busy[b]
 	if t == nil {
+		if hardened && !hasData {
+			dc.stats.StrayAcks++
+			return
+		}
 		dc.env.fail("dir %d: stray ack %v", dc.node, m)
+		return
+	}
+	if !t.pending.Has(m.Src) || (hardened && m.Txn != 0 && m.Txn != t.req.Txn) {
+		if hardened && !hasData {
+			dc.stats.StrayAcks++
+			return
+		}
+		dc.env.fail("dir %d: surplus ack %v", dc.node, m)
 		return
 	}
 	if hasData {
@@ -592,12 +651,8 @@ func (dc *DirCtrl) onAck(m netsim.Message, hasData, downgraded bool) {
 		// prediction cost it a copy for nothing. Demote.
 		dc.dir.Entry(b).Migratory = false
 	}
-	t.needAcks--
-	if t.needAcks < 0 {
-		dc.env.fail("dir %d: surplus ack %v", dc.node, m)
-		return
-	}
-	if t.needAcks == 0 {
+	t.pending = t.pending.Remove(m.Src)
+	if t.pending.Empty() {
 		dc.complete(t)
 	}
 }

@@ -111,6 +111,13 @@ type Config struct {
 	// when set (a recall transaction installs owner + requester together).
 	SharerLimit int
 	Policy      core.Policy
+	// Retry enables the hardened protocol (robust.go): per-transaction
+	// timeouts, bounded retransmission with exponential backoff,
+	// duplicate-request deduplication, grant replay, and Nack/NackHome
+	// handling. nil runs the strict base protocol, which treats every
+	// anomaly as an invariant violation and arms no timers. The machine
+	// installs DefaultRetry automatically when a fault plan is configured.
+	Retry *RetryConfig
 }
 
 // Store is one processor store: the coherence-checking token plus the data
