@@ -5,7 +5,7 @@
 //
 //	dsibench [-experiment all|tab1|fig3|fig4|fig5|tab2|tab3|sweep] [-procs N] [-test]
 //	         [-cpuprofile f] [-memprofile f] [-trace f]
-//	         [-benchjson f]
+//	         [-benchjson f] [-benchbaseline f] [-benchmaxregress frac]
 //	         [-blockstats workload] [-protocol label] [-cachebytes n]
 //	         [-faults spec]
 //
@@ -26,6 +26,13 @@
 // with:
 //
 //	go run ./cmd/dsibench -benchjson BENCH_kernel.json
+//
+// -benchbaseline turns the same measurement into a regression gate: the
+// fresh numbers are compared against a committed baseline and the exit
+// status is nonzero if ns/op regressed by more than -benchmaxregress
+// (default 20%) or if allocs/op increased at all. CI runs:
+//
+//	go run ./cmd/dsibench -benchjson /tmp/bench.json -benchbaseline BENCH_kernel.json -procs 8
 //
 // -blockstats runs one workload with the coherence-event sink attached and
 // prints the per-block lifetime metrics (time-in-state histograms,
@@ -64,6 +71,8 @@ func main() {
 	benchjson := flag.String("benchjson", "", "benchmark the simulation kernel and write a JSON summary to this file instead of running experiments")
 	benchWorkload := flag.String("benchworkload", "em3d", "workload for -benchjson")
 	benchScale := flag.Bool("benchpaper", false, "run -benchjson at paper scale instead of test scale")
+	benchBaseline := flag.String("benchbaseline", "", "compare the -benchjson measurement against this committed baseline and fail on regression")
+	benchMaxRegress := flag.Float64("benchmaxregress", 0.20, "tolerated fractional ns/op regression for -benchbaseline")
 	blockstats := flag.String("blockstats", "", "run this workload with the coherence-event sink and print block-lifetime metrics instead of running experiments")
 	protocol := flag.String("protocol", "V", "protocol label for -blockstats")
 	cacheBytes := flag.Int("cachebytes", 0, "cache size for -blockstats (0 = default 256 KiB)")
@@ -117,10 +126,19 @@ func main() {
 	}()
 
 	if *benchjson != "" {
-		if err := runKernelBench(*benchjson, *benchWorkload, *procs, *benchScale, faults); err != nil {
+		out, err := runKernelBench(*benchjson, *benchWorkload, *procs, *benchScale, faults)
+		if err != nil {
 			fatal(err)
 		}
+		if *benchBaseline != "" {
+			if err := checkBaseline(out, *benchBaseline, *benchMaxRegress); err != nil {
+				fatal(err)
+			}
+		}
 		return
+	}
+	if *benchBaseline != "" {
+		fatal(fmt.Errorf("-benchbaseline requires -benchjson"))
 	}
 
 	if *blockstats != "" {
@@ -181,8 +199,8 @@ type KernelBench struct {
 }
 
 // runKernelBench benchmarks repeated full simulations with testing.Benchmark
-// and writes the summary JSON to path.
-func runKernelBench(path, wl string, procs int, paperScale bool, faults *dsisim.FaultConfig) error {
+// and writes the summary JSON to path, returning the measurement.
+func runKernelBench(path, wl string, procs int, paperScale bool, faults *dsisim.FaultConfig) (KernelBench, error) {
 	scale := dsisim.ScaleTest
 	scaleName := "test"
 	if paperScale {
@@ -195,7 +213,7 @@ func runKernelBench(path, wl string, procs int, paperScale bool, faults *dsisim.
 	// the simulation is deterministic).
 	probe, err := dsisim.Run(cfg)
 	if err != nil {
-		return err
+		return KernelBench{}, err
 	}
 
 	r := testing.Benchmark(func(b *testing.B) {
@@ -225,14 +243,47 @@ func runKernelBench(path, wl string, procs int, paperScale bool, faults *dsisim.
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
-		return err
+		return KernelBench{}, err
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
+		return KernelBench{}, err
 	}
 	fmt.Printf("kernel bench: %d iter, %.2fms/op, %d allocs/op, %.0f events/sec -> %s\n",
 		r.N, out.NsPerOp/1e6, out.AllocsPerOp, out.EventsPerSec, path)
+	return out, nil
+}
+
+// checkBaseline compares a fresh measurement against the committed baseline
+// JSON and fails on a ns/op regression beyond maxRegress (a fraction: 0.20
+// tolerates 20%). Allocations are compared exactly — they are deterministic,
+// so any increase is a real leak, not noise. The measurement must cover the
+// same cell (workload, processors, scale) as the baseline, or the comparison
+// is meaningless and rejected.
+func checkBaseline(cur KernelBench, path string, maxRegress float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base KernelBench
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if cur.Workload != base.Workload || cur.Processors != base.Processors || cur.Scale != base.Scale {
+		return fmt.Errorf("baseline %s measures %s/%dp/%s, current run measures %s/%dp/%s",
+			path, base.Workload, base.Processors, base.Scale, cur.Workload, cur.Processors, cur.Scale)
+	}
+	ratio := cur.NsPerOp / base.NsPerOp
+	fmt.Printf("baseline %s: %.2fms/op, current %.2fms/op (%.2fx, tolerance %.2fx)\n",
+		path, base.NsPerOp/1e6, cur.NsPerOp/1e6, ratio, 1+maxRegress)
+	if ratio > 1+maxRegress {
+		return fmt.Errorf("ns/op regressed %.1f%% (%.0f -> %.0f), tolerance %.0f%%",
+			(ratio-1)*100, base.NsPerOp, cur.NsPerOp, maxRegress*100)
+	}
+	if cur.AllocsPerOp > base.AllocsPerOp {
+		return fmt.Errorf("allocs/op regressed: %d -> %d (allocations are deterministic; this is a leak, not noise)",
+			base.AllocsPerOp, cur.AllocsPerOp)
+	}
 	return nil
 }
 

@@ -311,14 +311,24 @@ func Run(cfg Config) (Result, error) {
 	return RunProgram(cfg, prog)
 }
 
-// RunProgram simulates a custom program under cfg. Programs and the
-// machines that run them are single-use.
+// pool recycles simulated machines across Run/RunProgram calls: experiment
+// grids and benchmark loops that simulate the same machine shape repeatedly
+// pay the structural allocation cost once. Reuse is observationally
+// invisible — machine.Reset restores a just-assembled state, and the kernel
+// determinism goldens (which run every protocol through this pool, twice)
+// gate that invariant.
+var pool machine.Pool
+
+// RunProgram simulates a custom program under cfg. Programs are single-use;
+// the machine that runs one is drawn from an internal pool and recycled.
 func RunProgram(cfg Config, prog Program) (Result, error) {
 	mc, err := cfg.machineConfig()
 	if err != nil {
 		return Result{}, err
 	}
-	res := machine.New(mc).Run(prog)
+	m := pool.Get(mc)
+	res := m.Run(prog)
+	pool.Put(m)
 	if res.Failed() {
 		return res, fmt.Errorf("dsisim: run of %q failed: %s", prog.Name(), res.Errors[0])
 	}

@@ -49,6 +49,7 @@ var DefaultSimPackages = []string{
 	"dsisim/internal/core",
 	"dsisim/internal/directory",
 	"dsisim/internal/cache",
+	"dsisim/internal/blockmap",
 }
 
 // New returns the analyzer; simPkg reports whether a package (by import

@@ -16,7 +16,10 @@
 //     structs, strings, and integers heap-allocate);
 //   - append to a fresh, capacity-free slice (var s []T / s := []T{} /
 //     make([]T, 0)): growth reallocates every few appends; hot paths
-//     preallocate or reuse pooled buffers.
+//     preallocate or reuse pooled buffers;
+//   - map indexing (m[k], whether read, write, or comma-ok) and range over a
+//     map: every access hashes the key, and map ranges have randomized order
+//     besides; hot paths index dense tables (internal/blockmap) instead.
 //
 // Terminal error paths are exempt: the arguments of panic(...) and of calls
 // to //dsi:coldpath functions (proto.Env.fail) are not inspected, since a
@@ -34,7 +37,7 @@ import (
 func Analyzer() *analysis.Analyzer {
 	return &analysis.Analyzer{
 		Name: "hotpath",
-		Doc:  "//dsi:hotpath functions must avoid closures, interface boxing, fmt, and un-capped appends",
+		Doc:  "//dsi:hotpath functions must avoid closures, interface boxing, fmt, un-capped appends, and map access",
 		Run:  run,
 	}
 }
@@ -135,6 +138,20 @@ func (c *checker) walk(n ast.Node) {
 				return false // terminal error path; arguments are exempt
 			}
 			c.checkCall(n)
+		case *ast.IndexExpr:
+			if t := c.pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					c.pass.Reportf(n.Pos(),
+						"map index in hot path; use a dense block table (internal/blockmap) instead")
+				}
+			}
+		case *ast.RangeStmt:
+			if t := c.pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					c.pass.Reportf(n.X.Pos(),
+						"range over map in hot path; iterate a dense block table (internal/blockmap) instead")
+				}
+			}
 		}
 		return true
 	})

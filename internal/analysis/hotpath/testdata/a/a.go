@@ -52,6 +52,32 @@ func hotConvPtr(r *rec) any {
 }
 
 //dsi:hotpath
+func hotMaps(m map[int]*rec, xs []int) int {
+	r := m[3] // want `map index in hot path`
+	_ = r
+	m[4] = nil             // want `map index in hot path`
+	if _, ok := m[5]; ok { // want `map index in hot path`
+		return 1
+	}
+	total := 0
+	for k := range m { // want `range over map in hot path`
+		total += k
+	}
+	for _, x := range xs { // ok: slice range
+		total += x
+	}
+	_ = xs[0] // ok: slice index
+	return total
+}
+
+func notHotMaps(m map[int]int) int { // ok: unannotated functions are not checked
+	for k := range m {
+		m[k]++
+	}
+	return m[0]
+}
+
+//dsi:hotpath
 func hotColdExempt(r *rec) {
 	if r.b < 0 {
 		fail("bad rec %d", r.b) // ok: coldpath call, arguments exempt

@@ -1,0 +1,254 @@
+// Package blockmap provides the dense, address-indexed block tables that
+// back every per-block structure on the simulation hot path: directory
+// entries, in-flight directory transactions, cache-side MSHRs and
+// write-buffer entries, simulated memory contents, and the observability
+// tracker. It replaces the per-Addr Go hash maps those layers used before —
+// a hash, a bucket probe, and a pointer chase per simulated access — with a
+// flat slot array indexed by block number.
+//
+// Simulated address spaces are block-aligned and bounded by mem.Layout, so
+// a block index (Addr >> BlockShift) is a small dense integer: the common
+// case is one bounds check and one slice load. Ad-hoc addresses beyond the
+// dense bound (hand-built test rigs, replayed traces) fall back to a small
+// open-addressing table, so correctness never depends on the layout.
+//
+// The package is deliberately free of simulator imports (records are keyed
+// by raw uint64 block indexes, not mem.Addr) so that internal/mem itself can
+// build on it without an import cycle.
+//
+// Design constraints, in order:
+//
+//   - Stable pointers. Records live in fixed-size pages that are never
+//     reallocated, so a *T returned by Get or Ensure stays valid for the
+//     map's lifetime. Controllers cache these pointers across events.
+//   - No deletion. Per-block records persist for the machine's lifetime;
+//     "no transaction in flight" is a nil field inside the record, not an
+//     absent key. This keeps the hot path free of tombstone handling and
+//     makes record reuse across a machine Reset trivial.
+//   - Deterministic iteration. ForEach visits records in insertion order,
+//     which is itself deterministic (it follows the simulation's own event
+//     order), so no caller needs to sort just to stay reproducible.
+package blockmap
+
+// DefaultDenseCap bounds the dense slot region of a zero-value Map: block
+// indexes below it index the flat slot array (lazily grown as high indexes
+// are touched), indexes at or above it go to the overflow table. 1<<22
+// blocks is 128 MiB of simulated address space at the paper's 32-byte
+// blocks — far above any configured workload — while capping the slot
+// array at 16 MiB per map even under adversarial addresses.
+const DefaultDenseCap = 1 << 22
+
+const (
+	pageBits = 8
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// Map is a block-index-keyed table of T records. The zero value is an empty
+// map with DefaultDenseCap; it must not be copied after first use (records
+// hold into its pages).
+type Map[T any] struct {
+	// slots maps a dense block index to record id+1; 0 means absent. Grown
+	// lazily in powers of two up to the dense cap.
+	slots []int32
+	// cap is the dense-region bound, fixed at first insert (DefaultDenseCap
+	// for the zero value).
+	cap uint64
+
+	// Overflow open-addressing table for indexes >= cap. oKeys stores
+	// index+1 so 0 can mean an empty slot; oIDs holds the record id.
+	oKeys []uint64
+	oIDs  []int32
+	oLen  int
+
+	// keys records each id's block index in insertion order (ForEach).
+	keys []uint64
+	// pages stores the records: id i lives at pages[i>>pageBits][i&pageMask].
+	// Pages are never reallocated, so record pointers are stable; Reset
+	// keeps them for reuse.
+	pages [][]T
+	n     int
+}
+
+// New returns a Map whose dense region covers block indexes below denseCap.
+// Most callers can use the zero value; New exists for tests and for tables
+// whose keys are known to be composite (and therefore sparse) from the
+// start.
+func New[T any](denseCap uint64) Map[T] {
+	return Map[T]{cap: denseCap}
+}
+
+// Len returns the number of block records ever created (records are never
+// deleted).
+func (m *Map[T]) Len() int { return m.n }
+
+// at returns the record with id i.
+//
+//dsi:hotpath
+func (m *Map[T]) at(i int32) *T {
+	return &m.pages[i>>pageBits][i&pageMask]
+}
+
+// Get returns the record for block index idx, or nil if none was ever
+// created. One bounds check and one slice load in the dense case.
+//
+//dsi:hotpath
+func (m *Map[T]) Get(idx uint64) *T {
+	if idx < uint64(len(m.slots)) {
+		if s := m.slots[idx]; s != 0 {
+			return m.at(s - 1)
+		}
+		return nil
+	}
+	if m.oLen != 0 && idx >= m.cap {
+		return m.getOverflow(idx)
+	}
+	return nil
+}
+
+// Ensure returns the record for block index idx, creating a zeroed record if
+// none exists.
+//
+//dsi:hotpath
+func (m *Map[T]) Ensure(idx uint64) *T {
+	if m.cap == 0 {
+		m.cap = DefaultDenseCap
+	}
+	if idx < m.cap {
+		if idx < uint64(len(m.slots)) {
+			if s := m.slots[idx]; s != 0 {
+				return m.at(s - 1)
+			}
+		} else {
+			m.growSlots(idx)
+		}
+		id := m.push(idx)
+		m.slots[idx] = id + 1
+		return m.at(id)
+	}
+	return m.ensureOverflow(idx)
+}
+
+// ForEach calls fn for every record in insertion order, which is
+// deterministic: it follows the simulation's own first-touch order.
+func (m *Map[T]) ForEach(fn func(idx uint64, r *T)) {
+	for i := 0; i < m.n; i++ {
+		fn(m.keys[i], m.at(int32(i)))
+	}
+}
+
+// Reset empties the map while keeping every allocation — the slot array,
+// the overflow table, and all record pages — so a reused machine reaches
+// steady state with zero map growth. Records are re-zeroed on their next
+// Ensure, not here.
+func (m *Map[T]) Reset() {
+	clear(m.slots)
+	clear(m.oKeys)
+	m.oLen = 0
+	m.keys = m.keys[:0]
+	m.n = 0
+}
+
+// push appends a fresh zeroed record for idx and returns its id.
+func (m *Map[T]) push(idx uint64) int32 {
+	id := m.n
+	if id>>pageBits == len(m.pages) {
+		m.pages = append(m.pages, make([]T, pageSize))
+	}
+	m.n++
+	m.keys = append(m.keys, idx)
+	p := m.at(int32(id))
+	var zero T
+	*p = zero
+	return int32(id)
+}
+
+// growSlots extends the dense slot array to cover idx (next power of two,
+// clamped to the dense cap). Growth happens on first touch of a new high
+// block — setup and cold paths only; a warm machine never grows.
+func (m *Map[T]) growSlots(idx uint64) {
+	want := uint64(1024)
+	for want <= idx {
+		want <<= 1
+	}
+	if want > m.cap {
+		want = m.cap
+	}
+	ns := make([]int32, want)
+	copy(ns, m.slots)
+	m.slots = ns
+}
+
+// getOverflow probes the open-addressing table for idx.
+//
+//dsi:hotpath
+func (m *Map[T]) getOverflow(idx uint64) *T {
+	mask := uint64(len(m.oKeys) - 1)
+	for h := hash(idx) & mask; ; h = (h + 1) & mask {
+		k := m.oKeys[h]
+		if k == 0 {
+			return nil
+		}
+		if k == idx+1 {
+			return m.at(m.oIDs[h])
+		}
+	}
+}
+
+// ensureOverflow is Ensure's slow path for indexes beyond the dense cap.
+func (m *Map[T]) ensureOverflow(idx uint64) *T {
+	if m.oLen*4 >= len(m.oKeys)*3 {
+		m.growOverflow()
+	}
+	mask := uint64(len(m.oKeys) - 1)
+	for h := hash(idx) & mask; ; h = (h + 1) & mask {
+		k := m.oKeys[h]
+		if k == idx+1 {
+			return m.at(m.oIDs[h])
+		}
+		if k == 0 {
+			id := m.push(idx)
+			m.oKeys[h] = idx + 1
+			m.oIDs[h] = id
+			m.oLen++
+			return m.at(id)
+		}
+	}
+}
+
+// growOverflow doubles the overflow table and rehashes the live keys.
+func (m *Map[T]) growOverflow() {
+	nlen := len(m.oKeys) * 2
+	if nlen == 0 {
+		nlen = 64
+	}
+	oldK, oldID := m.oKeys, m.oIDs
+	m.oKeys = make([]uint64, nlen)
+	m.oIDs = make([]int32, nlen)
+	mask := uint64(nlen - 1)
+	for i, k := range oldK {
+		if k == 0 {
+			continue
+		}
+		for h := hash(k-1) & mask; ; h = (h + 1) & mask {
+			if m.oKeys[h] == 0 {
+				m.oKeys[h] = k
+				m.oIDs[h] = oldID[i]
+				break
+			}
+		}
+	}
+}
+
+// hash is the splitmix64 finalizer — strong enough to spread composite and
+// strided block indexes across the overflow table.
+//
+//dsi:hotpath
+func hash(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

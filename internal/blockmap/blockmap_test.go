@@ -1,0 +1,154 @@
+package blockmap
+
+import "testing"
+
+func TestZeroValueGetEmpty(t *testing.T) {
+	var m Map[int]
+	if p := m.Get(0); p != nil {
+		t.Fatalf("Get(0) on empty map = %v, want nil", p)
+	}
+	if p := m.Get(1 << 40); p != nil {
+		t.Fatalf("Get(huge) on empty map = %v, want nil", p)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", m.Len())
+	}
+}
+
+func TestEnsureGetRoundTrip(t *testing.T) {
+	var m Map[int]
+	for i := uint64(0); i < 3000; i += 3 {
+		*m.Ensure(i) = int(i) * 7
+	}
+	for i := uint64(0); i < 3000; i++ {
+		p := m.Get(i)
+		if i%3 == 0 {
+			if p == nil || *p != int(i)*7 {
+				t.Fatalf("Get(%d) = %v, want %d", i, p, i*7)
+			}
+		} else if p != nil {
+			t.Fatalf("Get(%d) = %v, want nil", i, *p)
+		}
+	}
+	if m.Len() != 1000 {
+		t.Fatalf("Len() = %d, want 1000", m.Len())
+	}
+}
+
+func TestEnsureIdempotentAndStable(t *testing.T) {
+	var m Map[int]
+	p1 := m.Ensure(42)
+	*p1 = 99
+	// Force page and slot growth, then confirm the old pointer still works.
+	for i := uint64(0); i < 10*pageSize; i++ {
+		m.Ensure(i + 100)
+	}
+	p2 := m.Ensure(42)
+	if p1 != p2 {
+		t.Fatalf("Ensure(42) moved: %p vs %p", p1, p2)
+	}
+	if *p1 != 99 {
+		t.Fatalf("record clobbered by growth: %d", *p1)
+	}
+}
+
+func TestOverflowBeyondDenseCap(t *testing.T) {
+	m := New[uint64](128) // tiny dense region to exercise the overflow table
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		idx := i * 1000003 // strided, mostly beyond the cap
+		*m.Ensure(idx) = idx
+	}
+	for i := uint64(0); i < n; i++ {
+		idx := i * 1000003
+		p := m.Get(idx)
+		if p == nil || *p != idx {
+			t.Fatalf("Get(%d) = %v, want %d", idx, p, idx)
+		}
+	}
+	if m.Get(7777777777) != nil {
+		t.Fatal("Get of absent overflow key should be nil")
+	}
+	if m.Len() != n {
+		t.Fatalf("Len() = %d, want %d", m.Len(), n)
+	}
+}
+
+func TestForEachInsertionOrder(t *testing.T) {
+	m := New[int](64)
+	order := []uint64{9, 3, 1 << 30, 5, 70, 2} // mix of dense and overflow keys
+	for i, idx := range order {
+		*m.Ensure(idx) = i
+	}
+	var got []uint64
+	m.ForEach(func(idx uint64, r *int) {
+		if *r != len(got) {
+			t.Fatalf("record %d out of order: %d", idx, *r)
+		}
+		got = append(got, idx)
+	})
+	if len(got) != len(order) {
+		t.Fatalf("visited %d records, want %d", len(got), len(order))
+	}
+	for i := range order {
+		if got[i] != order[i] {
+			t.Fatalf("ForEach order %v, want %v", got, order)
+		}
+	}
+}
+
+func TestResetKeepsCapacityAndZeroesRecords(t *testing.T) {
+	var m Map[int]
+	for i := uint64(0); i < 1000; i++ {
+		*m.Ensure(i) = 1
+	}
+	*m.Ensure(1 << 30) = 1 // one overflow record
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatalf("Len() after Reset = %d, want 0", m.Len())
+	}
+	if m.Get(5) != nil || m.Get(1<<30) != nil {
+		t.Fatal("records visible after Reset")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		m.Reset()
+		for i := uint64(0); i < 1000; i++ {
+			if *m.Ensure(i) != 0 {
+				t.Fatal("reused record not zeroed")
+			}
+			*m.Ensure(i) = 2
+		}
+		if *m.Ensure(1 << 30) != 0 {
+			t.Fatal("reused overflow record not zeroed")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm Reset+refill allocated %.1f times, want 0", allocs)
+	}
+}
+
+func BenchmarkDenseGet(b *testing.B) {
+	var m Map[uint64]
+	for i := uint64(0); i < 4096; i++ {
+		*m.Ensure(i) = i
+	}
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += *m.Get(uint64(i) & 4095)
+	}
+	_ = sink
+}
+
+func BenchmarkMapGetBaseline(b *testing.B) {
+	m := make(map[uint64]uint64, 4096)
+	for i := uint64(0); i < 4096; i++ {
+		m[i] = i
+	}
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += m[uint64(i)&4095]
+	}
+	_ = sink
+}

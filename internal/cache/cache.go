@@ -104,6 +104,10 @@ type Cache struct {
 	clock  uint64
 	marked []*Frame // the hardware linked list of s-bit frames, arrival order
 	stats  Stats
+
+	// flushScratch backs MarkedFlush's result so the per-sync flush walk
+	// allocates nothing in steady state. Valid until the next MarkedFlush.
+	flushScratch []Evicted
 }
 
 // New builds an empty cache.
@@ -122,6 +126,21 @@ func (c *Cache) Config() Config { return c.cfg }
 
 // Stats returns a snapshot of the structural counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset empties every frame and clears the marked-frame list, LRU clock, and
+// counters, keeping the arrays so a reused machine starts from a cold cache
+// without reallocating.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = Frame{}
+		}
+	}
+	c.clock = 0
+	clear(c.marked)
+	c.marked = c.marked[:0]
+	c.stats = Stats{}
+}
 
 func (c *Cache) set(a mem.Addr) []Frame {
 	return c.sets[int(mem.BlockIndex(a))%len(c.sets)]
@@ -292,9 +311,10 @@ func (c *Cache) Mark(a mem.Addr) bool {
 // MarkedFlush walks the hardware list of s-bit frames, invalidates every one
 // that still holds a marked valid copy, and returns them in list (arrival)
 // order. Tear-off frames are included; callers distinguish them via the
-// Evicted record. The list is emptied.
+// Evicted record. The list is emptied. The returned slice is scratch state
+// reused by the next MarkedFlush call: consume it before flushing again.
 func (c *Cache) MarkedFlush() []Evicted {
-	var out []Evicted
+	out := c.flushScratch[:0]
 	for _, f := range c.marked {
 		f.inList = false
 		if f.Valid() && f.SI {
@@ -306,6 +326,7 @@ func (c *Cache) MarkedFlush() []Evicted {
 		}
 	}
 	c.marked = c.marked[:0]
+	c.flushScratch = out
 	return out
 }
 

@@ -334,6 +334,10 @@ type FIFO struct {
 	// Displacements counts early self-invalidations forced by finite
 	// capacity — the effect Figure 5 attributes sparse's slowdown to.
 	Displacements int64
+
+	// scratch backs OnSync's result across calls (consumed synchronously by
+	// the cache controller), keeping the sync flush allocation-free.
+	scratch []cache.Evicted
 }
 
 // NewFIFO returns a FIFO mechanism with the given capacity.
@@ -368,7 +372,7 @@ func (f *FIFO) OnInstall(c *cache.Cache, block mem.Addr) []cache.Evicted {
 
 // OnSync implements Mechanism: flush the whole buffer.
 func (f *FIFO) OnSync(c *cache.Cache) []cache.Evicted {
-	var out []cache.Evicted
+	out := f.scratch[:0]
 	for _, a := range f.queue {
 		if ev, ok := c.SelfInvalidate(a); ok {
 			out = append(out, ev)
@@ -380,6 +384,7 @@ func (f *FIFO) OnSync(c *cache.Cache) []cache.Evicted {
 	// silent invalidation would leave the directory with phantom copies —
 	// notify for those too.
 	out = append(out, c.MarkedFlush()...)
+	f.scratch = out
 	return out
 }
 

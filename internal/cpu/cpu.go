@@ -157,6 +157,33 @@ func New(id, n int, q *event.Queue, cc *proto.CacheCtrl, barrier *Barrier, brk *
 	return p
 }
 
+// Reset returns a halted processor to its just-built state for machine
+// reuse, keeping the channels and the continuation closures bound at
+// construction. The queue, cache controller, barrier, and breakdown wiring
+// persist; only the run state (RNG, store sequence, halt/err, in-flight
+// operation context) is cleared. Resetting a processor whose kernel has not
+// halted would leave its goroutine blocked on the old run's channels, so
+// that is a hard error — the machine rebuilds such processors instead.
+func (p *Proc) Reset(seed uint64) {
+	if !p.done {
+		panic("cpu: Reset of a processor that has not halted")
+	}
+	p.rnd.Reseed(seed ^ uint64(p.id)*0x9e3779b97f4a7c15)
+	p.seq = 0
+	p.done = false
+	p.halt = 0
+	p.err = nil
+	p.r = request{}
+	p.start = 0
+	p.resp = response{}
+	p.pending = response{}
+	p.drained, p.arrived = 0, 0
+	p.flushNext = nil
+	p.flushStart = 0
+	p.SpinBackoffMax = 256
+	p.OnOp = nil
+}
+
 // ID returns the processor number.
 func (p *Proc) ID() int { return p.id }
 
@@ -510,7 +537,9 @@ func (b *Barrier) Arrive(cont func()) {
 		return
 	}
 	ws := b.waiting
-	b.waiting = nil
+	// Keep the backing array: re-arrivals append only after the release
+	// events run, so the next episode reuses it allocation-free.
+	b.waiting = b.waiting[:0]
 	b.Episodes++
 	ep := b.Episodes
 	release := b.q.Now() + b.latency
@@ -524,3 +553,13 @@ func (b *Barrier) Arrive(cont func()) {
 
 // Waiting returns how many processors are currently parked at the barrier.
 func (b *Barrier) Waiting() int { return len(b.waiting) }
+
+// Reset clears all barrier state (parked processors, the episode counter,
+// the release hook) and installs a new latency, for machine reuse.
+func (b *Barrier) Reset(latency event.Time) {
+	clear(b.waiting)
+	b.waiting = b.waiting[:0]
+	b.Episodes = 0
+	b.OnRelease = nil
+	b.latency = latency
+}

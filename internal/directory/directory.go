@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"dsisim/internal/blockmap"
 	"dsisim/internal/mem"
 )
 
@@ -172,15 +173,18 @@ func (e *Entry) ClearTearOff() {
 }
 
 // Dir is the directory of one home node: entries for the blocks homed
-// there, created on demand in state Idle.
+// there, created on demand in state Idle. Entries live in a dense
+// block-indexed table (internal/blockmap), so the per-request lookup on the
+// protocol hot path is a slice load rather than a hash probe, and entry
+// pointers are stable for the directory's lifetime.
 type Dir struct {
 	node    int
-	entries map[mem.Addr]*Entry
+	entries blockmap.Map[Entry]
 }
 
 // New creates the directory for home node.
 func New(node int) *Dir {
-	return &Dir{node: node, entries: make(map[mem.Addr]*Entry)}
+	return &Dir{node: node}
 }
 
 // Node returns the home node this directory belongs to.
@@ -188,31 +192,37 @@ func (d *Dir) Node() int { return d.node }
 
 // Entry returns the entry for a's block, creating an Idle entry on first
 // touch.
+//
+//dsi:hotpath
 func (d *Dir) Entry(a mem.Addr) *Entry {
-	b := mem.BlockOf(a)
-	e, ok := d.entries[b]
-	if !ok {
-		e = &Entry{LastOwner: -1}
-		d.entries[b] = e
+	idx := mem.BlockIndex(a)
+	if e := d.entries.Get(idx); e != nil {
+		return e
 	}
+	e := d.entries.Ensure(idx)
+	e.LastOwner = -1
 	return e
 }
 
 // Peek returns the entry if it exists, without creating one.
+//
+//dsi:hotpath
 func (d *Dir) Peek(a mem.Addr) (*Entry, bool) {
-	e, ok := d.entries[mem.BlockOf(a)]
-	return e, ok
+	e := d.entries.Get(mem.BlockIndex(a))
+	return e, e != nil
 }
 
 // Len returns the number of materialized entries.
-func (d *Dir) Len() int { return len(d.entries) }
+func (d *Dir) Len() int { return d.entries.Len() }
 
-// ForEach calls fn for every materialized entry in unspecified order.
-// Callers that feed simulation state or output must sort or aggregate
-// order-independently what they collect; the protocol never iterates.
+// ForEach calls fn for every materialized entry in first-touch order, which
+// is deterministic (it follows the simulation's own event order).
 func (d *Dir) ForEach(fn func(block mem.Addr, e *Entry)) {
-	//dsi:anyorder callers aggregate or sort; order never reaches sim state
-	for a, e := range d.entries {
-		fn(a, e)
-	}
+	d.entries.ForEach(func(idx uint64, e *Entry) {
+		fn(mem.Addr(idx)<<mem.BlockShift, e)
+	})
 }
+
+// Reset drops all entries while keeping the block table's allocations, so a
+// reused machine starts from an all-Idle directory without reallocating.
+func (d *Dir) Reset() { d.entries.Reset() }

@@ -286,5 +286,8 @@ func (s *Server) Admit(now Time, dur Time) (start, done Time) {
 // FreeAt returns the earliest time a new admission could start service.
 func (s *Server) FreeAt() Time { return s.freeAt }
 
+// Reset returns the server to idle at time 0, for machine reuse.
+func (s *Server) Reset() { s.freeAt, s.busy = 0, 0 }
+
 // Busy returns the cumulative cycles the server has been occupied.
 func (s *Server) Busy() Time { return s.busy }

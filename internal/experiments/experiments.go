@@ -13,6 +13,7 @@ import (
 
 	"dsisim/internal/core"
 	"dsisim/internal/event"
+	"dsisim/internal/faultinj"
 	"dsisim/internal/machine"
 	"dsisim/internal/proto"
 	"dsisim/internal/stats"
@@ -90,6 +91,11 @@ type Options struct {
 	Scale      workload.Scale // default ScalePaper
 	Latency    event.Time     // default 100
 	Class      CacheClass
+	// Faults, if set and non-trivial, installs the deterministic
+	// fault-injection plan on every cell's interconnect (enabling the
+	// hardened protocol), so grids can measure recovery overhead; see
+	// RecoveryTable.
+	Faults *faultinj.Config
 }
 
 func (o Options) defaults() Options {
@@ -107,6 +113,12 @@ func workloadNew(name string, s workload.Scale) (machine.Program, error) {
 	return workload.New(name, s)
 }
 
+// machines recycles simulated machines across grid cells: every cell of a
+// matrix shares one machine shape, so the structural allocations (event
+// queue, network, block tables, cache arrays) are paid once per concurrent
+// worker rather than once per cell.
+var machines machine.Pool
+
 // RunOne simulates one (workload, protocol) cell.
 func RunOne(name string, label Label, o Options) (machine.Result, error) {
 	o = o.defaults()
@@ -122,8 +134,11 @@ func RunOne(name string, label Label, o Options) (machine.Result, error) {
 		NetworkLatency: o.Latency,
 		Consistency:    cons,
 		Policy:         pol,
+		Faults:         o.Faults,
 	}
-	res := machine.New(cfg).Run(prog)
+	m := machines.Get(cfg)
+	res := m.Run(prog)
+	machines.Put(m)
 	if res.Failed() {
 		return res, fmt.Errorf("%s/%s (%v, %d-cycle net): %s", name, label, o.Class, o.Latency, res.Errors[0])
 	}
@@ -232,6 +247,60 @@ func (m *Matrix) Table(title string, base Label) stats.Table {
 			row = append(row, stats.Norm(m.Normalized(w, l, base)))
 		}
 		t.AddRow(row...)
+	}
+	return t
+}
+
+// Recovery aggregates one run's retry/NACK/fault-recovery counters across
+// all nodes — the robustness story of a cell in one row. All fields are
+// zero for a run without faults and without the hardened protocol.
+type Recovery struct {
+	Timeouts int64 // retry timers fired (cache + directory side)
+	Retries  int64 // requests, probes, and Inv/Recalls retransmitted
+	Nacks    int64 // requests refused by an overloaded directory
+	Replays  int64 // grants re-sent from directory state for lost replies
+	Strays   int64 // duplicate/stale messages deduplicated or tolerated
+	Injected int64 // messages the fault plan dropped, duplicated, or delayed
+}
+
+// RecoveryOf sums res's per-node recovery counters.
+func RecoveryOf(res machine.Result) Recovery {
+	var r Recovery
+	for _, cs := range res.Cache {
+		r.Timeouts += cs.Timeouts
+		r.Retries += cs.Retries
+		r.Nacks += cs.NacksRecv
+		r.Strays += cs.StraysIgnored
+	}
+	for _, ds := range res.Dir {
+		r.Timeouts += ds.Timeouts
+		r.Retries += ds.RetriesSent
+		r.Replays += ds.Replays
+		r.Strays += ds.StrayAcks + ds.DupRequests
+	}
+	r.Injected = res.Faults.Dropped + res.Faults.Duplicated + res.Faults.Delayed
+	return r
+}
+
+// RecoveryTable renders the grid's fault-recovery counters: one row per
+// (workload, protocol) cell. For a fault-free grid every count is zero —
+// the table then documents that no recovery machinery engaged.
+func (m *Matrix) RecoveryTable(title string) stats.Table {
+	t := stats.Table{
+		Title:  title,
+		Header: []string{"benchmark", "protocol", "faults", "timeouts", "retries", "nacks", "replays", "strays"},
+	}
+	for _, w := range m.Workloads {
+		for _, l := range m.Labels {
+			if !m.ok(w, l) {
+				t.AddRow(w, string(l), "-", "-", "-", "-", "-", "-")
+				continue
+			}
+			r := RecoveryOf(m.cells[w][l])
+			t.AddRow(w, string(l),
+				fmt.Sprint(r.Injected), fmt.Sprint(r.Timeouts), fmt.Sprint(r.Retries),
+				fmt.Sprint(r.Nacks), fmt.Sprint(r.Replays), fmt.Sprint(r.Strays))
+		}
 	}
 	return t
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"dsisim/internal/faultinj"
 	"dsisim/internal/workload"
 )
 
@@ -67,6 +68,42 @@ func TestMatrixAccessors(t *testing.T) {
 	bt := m.BreakdownTable("sparse")
 	if len(bt.Rows) == 0 {
 		t.Fatal("breakdown table empty")
+	}
+}
+
+// TestRecoveryTable checks both sides of the recovery surface: a fault-free
+// grid reports all-zero counters, and a faulty grid reports the retries the
+// hardened protocol actually performed.
+func TestRecoveryTable(t *testing.T) {
+	clean, err := RunMatrix([]string{"sparse"}, []Label{SC}, fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := RecoveryOf(clean.Get("sparse", SC))
+	if r != (Recovery{}) {
+		t.Fatalf("fault-free run has recovery activity: %+v", r)
+	}
+	tb := clean.RecoveryTable("recovery")
+	if len(tb.Rows) != 1 || tb.Rows[0][2] != "0" {
+		t.Fatalf("table = %+v", tb)
+	}
+
+	o := fast()
+	o.Faults = &faultinj.Config{Drop: 0.02, Seed: 11}
+	faulty, err := RunMatrix([]string{"sparse"}, []Label{SC}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := RecoveryOf(faulty.Get("sparse", SC))
+	if fr.Injected == 0 {
+		t.Fatalf("fault plan injected nothing: %+v", fr)
+	}
+	if fr.Timeouts == 0 || fr.Retries == 0 {
+		t.Fatalf("hardened protocol recorded no recovery: %+v", fr)
+	}
+	ft := faulty.RecoveryTable("recovery under faults")
+	if ft.Rows[0][3] == "0" {
+		t.Fatalf("table does not surface timeouts: %+v", ft.Rows[0])
 	}
 }
 

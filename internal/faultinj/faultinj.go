@@ -29,6 +29,7 @@ package faultinj
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -150,6 +151,19 @@ type Plan struct {
 	rng   *rng.RNG
 	hits  []int // per-rule occurrence counters
 	stats Stats
+
+	// kindDrop/kindSet are the DropByKind overrides compiled at New time into
+	// a dense table indexed by kind, and linkDrop the DropByLink overrides
+	// sorted by (src, dst), so Decide never hashes a map key on the hot path.
+	kindDrop []float64
+	kindSet  []bool
+	linkDrop []linkOverride
+}
+
+// linkOverride is one compiled DropByLink entry.
+type linkOverride struct {
+	src, dst int
+	prob     float64
 }
 
 // New builds a plan from cfg. The config is copied; mutating cfg afterwards
@@ -162,6 +176,37 @@ func New(cfg Config) *Plan {
 	if len(cfg.Rules) > 0 {
 		p.cfg.Rules = append([]Rule(nil), cfg.Rules...)
 		p.hits = make([]int, len(cfg.Rules))
+	}
+	if len(cfg.DropByKind) > 0 {
+		maxKind := 0
+		//dsi:anyorder computing a max over distinct keys is order-independent
+		for k := range cfg.DropByKind {
+			if k > maxKind {
+				maxKind = k
+			}
+		}
+		p.kindDrop = make([]float64, maxKind+1)
+		p.kindSet = make([]bool, maxKind+1)
+		//dsi:anyorder dense-table writes to distinct keys are order-independent
+		for k, v := range cfg.DropByKind {
+			if k >= 0 {
+				p.kindDrop[k] = v
+				p.kindSet[k] = true
+			}
+		}
+	}
+	if len(cfg.DropByLink) > 0 {
+		p.linkDrop = make([]linkOverride, 0, len(cfg.DropByLink))
+		//dsi:anyorder the entries are sorted by (src, dst) below
+		for k, v := range cfg.DropByLink {
+			p.linkDrop = append(p.linkDrop, linkOverride{src: k[0], dst: k[1], prob: v})
+		}
+		sort.Slice(p.linkDrop, func(i, j int) bool {
+			if p.linkDrop[i].src != p.linkDrop[j].src {
+				return p.linkDrop[i].src < p.linkDrop[j].src
+			}
+			return p.linkDrop[i].dst < p.linkDrop[j].dst
+		})
 	}
 	return p
 }
@@ -201,14 +246,13 @@ func (p *Plan) Decide(kind, src, dst int, droppable bool) Decision {
 	}
 
 	dropP := p.cfg.Drop
-	if p.cfg.DropByKind != nil {
-		if v, ok := p.cfg.DropByKind[kind]; ok {
-			dropP = v
-		}
+	if kind >= 0 && kind < len(p.kindSet) && p.kindSet[kind] {
+		dropP = p.kindDrop[kind]
 	}
-	if p.cfg.DropByLink != nil {
-		if v, ok := p.cfg.DropByLink[[2]int{src, dst}]; ok {
-			dropP = v
+	for i := range p.linkDrop {
+		if p.linkDrop[i].src == src && p.linkDrop[i].dst == dst {
+			dropP = p.linkDrop[i].prob
+			break
 		}
 	}
 	if dropP > 0 && p.rng.Float64() < dropP {

@@ -146,6 +146,12 @@ type Machine struct {
 	barrier *cpu.Barrier
 	plan    *faultinj.Plan
 	fails   []string
+
+	// procs and brks persist across Reset: processors are rebuilt only when
+	// a previous run left their kernel goroutine unhalted (deadlock), so a
+	// pooled machine re-runs without the per-processor construction cost.
+	procs []*cpu.Proc
+	brks  []*stats.Breakdown
 }
 
 // New assembles a machine from cfg (completed with Defaults).
@@ -208,6 +214,63 @@ func New(cfg Config) *Machine {
 	return m
 }
 
+// Reusable reports whether the machine's fixed structure (processor count
+// and cache geometry) matches cfg, i.e. whether Reset(cfg) can reuse it.
+// cfg must already be defaulted.
+func (m *Machine) Reusable(cfg Config) bool {
+	return cfg.Processors == m.cfg.Processors &&
+		cfg.CacheBytes == m.cfg.CacheBytes &&
+		cfg.CacheAssoc == m.cfg.CacheAssoc
+}
+
+// Reset rewinds the machine to a just-assembled state under cfg, keeping
+// every structural allocation: the event queue's heap, the network's
+// interfaces and delivery pool, the controllers' block tables and record
+// free lists, the cache arrays, and the address-space allocator. What is
+// cleared: all simulated time, traffic counters, cache and directory
+// contents, memory images, transaction ids, statistics, and accumulated
+// errors. The per-run wiring (sink, fault plan, retry parameters, protocol
+// policy, latencies, seed) is re-derived from cfg exactly as New does, so a
+// Reset machine is observationally identical to a fresh one — the kernel
+// determinism goldens gate this.
+//
+// Reset panics if Reusable(cfg) is false (the structure cannot change).
+func (m *Machine) Reset(cfg Config) {
+	cfg = cfg.Defaults()
+	if !m.Reusable(cfg) {
+		panic("machine: Reset with an incompatible configuration (build a new machine)")
+	}
+	m.cfg = cfg
+	m.q.Reset()
+	m.layout.Reset()
+	m.fails = m.fails[:0]
+	m.plan = nil
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		m.plan = faultinj.New(*cfg.Faults)
+	}
+	m.net.Reset(netsim.Config{Nodes: cfg.Processors, Latency: cfg.NetworkLatency, Faults: m.plan})
+	m.env.Reset(cfg.Sink)
+	if cfg.Sink != nil {
+		m.net.SetObserver(cfg.Sink)
+	}
+	retry := cfg.Retry
+	if retry == nil && m.plan != nil {
+		retry = proto.DefaultRetry(cfg.NetworkLatency)
+	}
+	pcfg := proto.Config{
+		Consistency:        cfg.Consistency,
+		WriteBufferEntries: cfg.WriteBufferEntries,
+		SharerLimit:        cfg.SharerLimit,
+		Policy:             cfg.Policy,
+		Retry:              retry,
+	}
+	for i := 0; i < cfg.Processors; i++ {
+		m.ccs[i].Reset(pcfg)
+		m.dcs[i].Reset(pcfg)
+	}
+	m.barrier.Reset(cfg.BarrierLatency)
+}
+
 // Config returns the machine's (defaulted) configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
@@ -221,16 +284,27 @@ func (m *Machine) CacheCtrl(node int) *proto.CacheCtrl { return m.ccs[node] }
 func (m *Machine) DirCtrl(node int) *proto.DirCtrl { return m.dcs[node] }
 
 // Run executes the program to completion and returns the measurements. A
-// machine is single-use: build a fresh one per run.
+// machine runs one program at a time and holds that run's state afterwards:
+// call Reset (or go through a Pool) before running it again.
 func (m *Machine) Run(prog Program) Result {
 	prog.Setup(m)
 
 	n := m.cfg.Processors
-	brks := make([]*stats.Breakdown, n)
-	procs := make([]*cpu.Proc, n)
+	if m.procs == nil {
+		m.procs = make([]*cpu.Proc, n)
+		m.brks = make([]*stats.Breakdown, n)
+		for i := 0; i < n; i++ {
+			m.brks[i] = &stats.Breakdown{}
+		}
+	}
+	brks, procs := m.brks, m.procs
 	for i := 0; i < n; i++ {
-		brks[i] = &stats.Breakdown{}
-		procs[i] = cpu.New(i, n, m.q, m.ccs[i], m.barrier, brks[i], m.cfg.Seed)
+		*brks[i] = stats.Breakdown{}
+		if procs[i] != nil && procs[i].Done() {
+			procs[i].Reset(m.cfg.Seed)
+		} else {
+			procs[i] = cpu.New(i, n, m.q, m.ccs[i], m.barrier, brks[i], m.cfg.Seed)
+		}
 		if tr := m.cfg.Tracer; tr != nil {
 			i := i
 			procs[i].OnOp = func(op cpu.TraceOp) { tr(i, op) }

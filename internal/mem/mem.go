@@ -9,6 +9,8 @@ package mem
 import (
 	"fmt"
 	"sort"
+
+	"dsisim/internal/blockmap"
 )
 
 // Block geometry, fixed to the paper's configuration.
@@ -103,6 +105,13 @@ func NewLayout(nodes int) *Layout {
 
 // Nodes returns the node count the layout was built for.
 func (l *Layout) Nodes() int { return l.nodes }
+
+// Reset forgets all allocations (keeping the region slice's capacity) so a
+// reused machine can run a fresh program's setup. The node count is fixed.
+func (l *Layout) Reset() {
+	l.next = BlockSize
+	l.regions = l.regions[:0]
+}
 
 // Regions returns the allocated regions in address order.
 func (l *Layout) Regions() []Region { return l.regions }
@@ -199,28 +208,40 @@ func (v Value) String() string {
 
 // Memory is a sparse block-granularity value store, used both as the
 // simulated main memory contents at the homes and as the checker's golden
-// image. The zero value is an all-zeroes memory.
+// image. The zero value is an all-zeroes memory. Storage is a blockmap
+// block table, so reads and writes on the simulation hot path are slice
+// loads, not hash lookups.
 type Memory struct {
-	blocks map[Addr]Value
+	blocks blockmap.Map[Value]
 }
 
 // Read returns the value of the block containing a.
-func (m *Memory) Read(a Addr) Value { return m.blocks[BlockOf(a)] }
+//
+//dsi:hotpath
+func (m *Memory) Read(a Addr) Value {
+	if p := m.blocks.Get(BlockIndex(a)); p != nil {
+		return *p
+	}
+	return Value{}
+}
 
 // Write stores v into the block containing a.
+//
+//dsi:hotpath
 func (m *Memory) Write(a Addr, v Value) {
-	if m.blocks == nil {
-		m.blocks = make(map[Addr]Value)
-	}
-	m.blocks[BlockOf(a)] = v
+	*m.blocks.Ensure(BlockIndex(a)) = v
 }
 
 // Len returns how many blocks have ever been written.
-func (m *Memory) Len() int { return len(m.blocks) }
+func (m *Memory) Len() int { return m.blocks.Len() }
 
-// ForEach calls fn for every written block in unspecified order.
+// ForEach calls fn for every written block in first-write order.
 func (m *Memory) ForEach(fn func(block Addr, v Value)) {
-	for a, v := range m.blocks {
-		fn(a, v)
-	}
+	m.blocks.ForEach(func(idx uint64, v *Value) {
+		fn(Addr(idx)<<BlockShift, *v)
+	})
 }
+
+// Reset forgets all contents while keeping the underlying block table's
+// allocations for machine reuse.
+func (m *Memory) Reset() { m.blocks.Reset() }

@@ -289,21 +289,25 @@ func deliver(arg any) {
 	n.handlers[m.Dst](m)
 }
 
-// getDelivery pops a pooled record or allocates the pool's next one.
+// getDelivery pops a pooled record or allocates the pool's next one. The
+// recycled counter covers both: it counts deliveries carried by pooled
+// records, not free-list hits, so its value does not depend on how warm the
+// free list is — a reused machine reports the same Result as a fresh one.
 //
 //dsi:hotpath
 func (n *Network) getDelivery() *delivery {
+	n.recycled++
 	if len(n.free) > 0 {
 		d := n.free[len(n.free)-1]
 		n.free = n.free[:len(n.free)-1]
-		n.recycled++
 		return d
 	}
 	return &delivery{net: n}
 }
 
-// Recycled returns the number of delivery records reused from the free list
-// (allocations avoided), for kernel observability.
+// Recycled returns the number of deliveries served through the pooled-record
+// path (each one a per-send closure allocation avoided), for kernel
+// observability.
 func (n *Network) Recycled() uint64 { return n.recycled }
 
 // New builds a network. Handlers start nil; the machine must register one
@@ -326,6 +330,36 @@ func New(q *event.Queue, cfg Config) *Network {
 		n.pairLast = make([]event.Time, cfg.Nodes*cfg.Nodes)
 	}
 	return n
+}
+
+// Reset returns the network to its initial state for machine reuse: idle
+// interfaces, zeroed counters, no traffic in flight. Handlers and the
+// delivery free list are kept; the latency and fault plan are replaced from
+// cfg (whose node count must match the network's). Any deliveries that were
+// still in flight are abandoned (their records are simply not recycled).
+func (n *Network) Reset(cfg Config) {
+	if cfg.Nodes != len(n.nis) {
+		panic("netsim: Reset with a different node count")
+	}
+	if cfg.Latency < 0 {
+		panic("netsim: negative latency")
+	}
+	n.latency = cfg.Latency
+	for i := range n.nis {
+		n.nis[i].Reset()
+	}
+	n.counts = Counts{}
+	n.inflight = 0
+	n.obs = nil
+	n.recycled = 0
+	n.faults = cfg.Faults
+	if cfg.Faults != nil {
+		if n.pairLast == nil {
+			n.pairLast = make([]event.Time, cfg.Nodes*cfg.Nodes)
+		} else {
+			clear(n.pairLast)
+		}
+	}
 }
 
 // SetHandler registers the delivery callback for node's incoming messages.

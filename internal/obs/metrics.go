@@ -116,20 +116,17 @@ type blockTrack struct {
 	hadVer     bool // the most recent install carried a version number
 }
 
-// key packs (node, block) into one map key. Node ids are < 64
-// (directory.NodeSet is a 64-bit full map), so 6 bits suffice.
+// key packs (node, block) into one block-table index. Node ids are < 64
+// (directory.NodeSet is a 64-bit full map), so 6 bits suffice. Composite
+// keys stay dense for the configured workloads; larger address spaces spill
+// into the block table's overflow region.
 func key(node int32, b mem.Addr) uint64 {
 	return mem.BlockIndex(b)<<6 | uint64(node)&63
 }
 
+//dsi:hotpath
 func (s *Sink) track(node int32, b mem.Addr) *blockTrack {
-	k := key(node, b)
-	t := s.blocks[k]
-	if t == nil {
-		t = &blockTrack{}
-		s.blocks[k] = t
-	}
-	return t
+	return s.blocks.Ensure(key(node, b))
 }
 
 // observe updates the streaming metrics with e. It runs for every emitted
@@ -180,11 +177,16 @@ func (s *Sink) observe(e *Event) {
 		m.TearOffGrants++
 	case TxnStart:
 		m.Transactions++
-		s.open[e.Txn] = e.Cycle
+		// Transaction ids are assigned sequentially from 1, so a plain
+		// slice indexed by id replaces the open-transaction map.
+		for uint64(len(s.open)) <= e.Txn {
+			s.open = append(s.open, 0)
+		}
+		s.open[e.Txn] = e.Cycle + 1
 	case TxnEnd:
-		if start, ok := s.open[e.Txn]; ok {
-			m.TxnLatency.Observe(int64(e.Cycle - start))
-			delete(s.open, e.Txn)
+		if e.Txn < uint64(len(s.open)) && s.open[e.Txn] != 0 {
+			m.TxnLatency.Observe(int64(e.Cycle - (s.open[e.Txn] - 1)))
+			s.open[e.Txn] = 0
 		}
 	case Fault:
 		m.FaultsInjected++

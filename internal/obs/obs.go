@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"io"
 
+	"dsisim/internal/blockmap"
 	"dsisim/internal/cache"
 	"dsisim/internal/directory"
 	"dsisim/internal/event"
@@ -255,8 +256,8 @@ type Sink struct {
 	nodes int // 1 + highest node id observed
 
 	m      BlockMetrics
-	blocks map[uint64]*blockTrack
-	open   map[uint64]event.Time // txn id -> start cycle
+	blocks blockmap.Map[blockTrack] // keyed by key(node, block)
+	open   []event.Time             // txn id -> start cycle + 1 (0 = not open)
 }
 
 // NewSink builds an empty sink.
@@ -276,8 +277,8 @@ func (s *Sink) reset() {
 	s.chunks = s.chunks[:0]
 	s.total, s.dropped, s.nodes = 0, 0, 0
 	s.m = BlockMetrics{PrematureWindow: s.cfg.PrematureWindow}
-	s.blocks = make(map[uint64]*blockTrack)
-	s.open = make(map[uint64]event.Time)
+	s.blocks.Reset()
+	clear(s.open)
 }
 
 // Reset empties the sink for reuse, returning event chunks to the free list

@@ -3,6 +3,7 @@ package proto
 import (
 	"strconv"
 
+	"dsisim/internal/blockmap"
 	"dsisim/internal/cache"
 	"dsisim/internal/core"
 	"dsisim/internal/event"
@@ -104,6 +105,14 @@ type pendingStore struct {
 	cont  func(Result)
 }
 
+// ccBlock is one block's hot cache-controller state, co-located in a single
+// blockmap record: the outstanding miss (ms, nil when none) and the
+// write-buffer entry (wb, nil when none; WC only).
+type ccBlock struct {
+	ms *mshr
+	wb *wbEntry
+}
+
 // CacheStats counts cache-controller events.
 type CacheStats struct {
 	ReadMisses      int64
@@ -144,10 +153,15 @@ type CacheCtrl struct {
 	// tear-off copy, 0 when none (§3.3: invalidated at the next miss).
 	scTear mem.Addr
 
-	mshrs map[mem.Addr]*mshr
+	// blocks is the dense per-block state table co-locating each block's
+	// outstanding miss and write-buffer entry (replaces the mshrs and
+	// entries hash maps); msCount/wbCount track how many records hold a
+	// live miss or unretired entry.
+	blocks  blockmap.Map[ccBlock]
+	msCount int
+	wbCount int
 
-	// Weak consistency write buffer.
-	entries map[mem.Addr]*wbEntry
+	// Weak consistency write buffer overflow queue.
 	stalled []pendingStore
 	drain   []func()
 
@@ -222,23 +236,53 @@ func (cc *CacheCtrl) freeMshr(ms *mshr) {
 // NewCacheCtrl builds the cache controller for node with geometry geo.
 func NewCacheCtrl(env *Env, node int, cfg Config, geo cache.Config) *CacheCtrl {
 	cc := &CacheCtrl{
-		env:   env,
-		node:  node,
-		cfg:   cfg,
-		c:     cache.New(geo),
-		mech:  cfg.Policy.Mechanism(),
-		mshrs: make(map[mem.Addr]*mshr),
+		env:  env,
+		node: node,
+		cfg:  cfg,
+		c:    cache.New(geo),
+		mech: cfg.Policy.Mechanism(),
 	}
 	if cfg.Policy.NewHistory != nil {
 		cc.hist = cfg.Policy.NewHistory()
 	}
-	if cfg.Consistency == WC {
-		if cfg.WriteBufferEntries <= 0 {
-			panic("proto: WC requires a write buffer")
-		}
-		cc.entries = make(map[mem.Addr]*wbEntry)
+	if cfg.Consistency == WC && cfg.WriteBufferEntries <= 0 {
+		panic("proto: WC requires a write buffer")
 	}
 	return cc
+}
+
+// Reset returns the controller to its initial state under a (possibly
+// different) protocol configuration, keeping every allocation: the cache
+// arrays, the per-block table, and the record free lists. The geometry is
+// fixed at construction; cfg carries the per-run protocol knobs. Machine
+// reuse calls this between runs.
+func (cc *CacheCtrl) Reset(cfg Config) {
+	if cfg.Consistency == WC && cfg.WriteBufferEntries <= 0 {
+		panic("proto: WC requires a write buffer")
+	}
+	cc.cfg = cfg
+	cc.c.Reset()
+	cc.mech = cfg.Policy.Mechanism()
+	cc.hist = nil
+	if cfg.Policy.NewHistory != nil {
+		cc.hist = cfg.Policy.NewHistory()
+	}
+	cc.server.Reset()
+	cc.scTear = 0
+	cc.blocks.Reset()
+	cc.msCount, cc.wbCount = 0, 0
+	clear(cc.stalled)
+	cc.stalled = cc.stalled[:0]
+	clear(cc.drain)
+	cc.drain = cc.drain[:0]
+	cc.stats = CacheStats{}
+}
+
+// block returns b's co-located state record, creating it on first touch.
+//
+//dsi:hotpath
+func (cc *CacheCtrl) block(b mem.Addr) *ccBlock {
+	return cc.blocks.Ensure(mem.BlockIndex(b))
 }
 
 // Cache exposes the cache array for checkers.
@@ -253,10 +297,12 @@ func (cc *CacheCtrl) Stats() CacheStats { return cc.stats }
 
 // Outstanding reports in-flight misses plus unretired write-buffer entries,
 // for quiesce detection.
-func (cc *CacheCtrl) Outstanding() int { return len(cc.mshrs) + len(cc.entries) + len(cc.stalled) }
+func (cc *CacheCtrl) Outstanding() int { return cc.msCount + cc.wbCount + len(cc.stalled) }
 
 // WBEmpty reports whether the write buffer has fully drained.
-func (cc *CacheCtrl) WBEmpty() bool { return len(cc.entries) == 0 && len(cc.stalled) == 0 }
+//
+//dsi:hotpath
+func (cc *CacheCtrl) WBEmpty() bool { return cc.wbCount == 0 && len(cc.stalled) == 0 }
 
 //dsi:hotpath
 func (cc *CacheCtrl) send(m netsim.Message) {
@@ -278,7 +324,8 @@ func (cc *CacheCtrl) Read(a mem.Addr, cont func(Result)) {
 		return
 	}
 	b := mem.BlockOf(a)
-	if e := cc.entries[b]; e != nil {
+	blk := cc.block(b)
+	if e := blk.wb; e != nil {
 		if !e.dataArrived {
 			// Stalled behind an outstanding write miss ("read wb" time).
 			cc.stats.ReadWBStalls++
@@ -290,7 +337,7 @@ func (cc *CacheCtrl) Read(a mem.Addr, cont func(Result)) {
 		// of the new request).
 	}
 	cc.stats.ReadMisses++
-	cc.issueMiss(b, cc.newMshr(mshr{kind: opRead, cont: cont, start: now}))
+	cc.issueMiss(b, blk, cc.newMshr(mshr{kind: opRead, cont: cont, start: now}))
 }
 
 // Write performs a store. Under SC the processor stalls until completion;
@@ -310,7 +357,8 @@ func (cc *CacheCtrl) Write(a mem.Addr, st Store, cont func(Result)) {
 		return
 	}
 	cc.stats.WriteMisses++
-	cc.issueMiss(mem.BlockOf(a), cc.newMshr(mshr{kind: opWrite, addr: a, st: st, cont: cont, start: now}))
+	b := mem.BlockOf(a)
+	cc.issueMiss(b, cc.block(b), cc.newMshr(mshr{kind: opWrite, addr: a, st: st, cont: cont, start: now}))
 }
 
 // Swap atomically exchanges the word at a, returning the previous word. The
@@ -326,7 +374,8 @@ func (cc *CacheCtrl) Swap(a mem.Addr, newWord uint64, st Store, cont func(Result
 		return
 	}
 	cc.stats.SwapMisses++
-	cc.issueMiss(mem.BlockOf(a), cc.newMshr(mshr{kind: opSwap, addr: a, st: st, cont: cont, start: now}))
+	b := mem.BlockOf(a)
+	cc.issueMiss(b, cc.block(b), cc.newMshr(mshr{kind: opSwap, addr: a, st: st, cont: cont, start: now}))
 }
 
 // SyncFlush performs the DSI self-invalidation due at a synchronization
@@ -378,7 +427,7 @@ func (cc *CacheCtrl) DrainWB(cont func()) {
 // --- miss machinery ---------------------------------------------------------
 
 //dsi:hotpath
-func (cc *CacheCtrl) issueMiss(b mem.Addr, ms *mshr) {
+func (cc *CacheCtrl) issueMiss(b mem.Addr, blk *ccBlock, ms *mshr) {
 	// Sequentially consistent tear-off copies die at the next cache miss
 	// (Scheurich's condition): until this processor misses, it cannot
 	// observe new values, so its reads order legally before the conflicting
@@ -390,14 +439,15 @@ func (cc *CacheCtrl) issueMiss(b mem.Addr, ms *mshr) {
 		}
 		cc.scTear = 0
 	}
-	if _, dup := cc.mshrs[b]; dup {
+	if blk.ms != nil {
 		cc.env.fail("cache %d: duplicate miss for %#x", cc.node, uint64(b))
 		return
 	}
-	if cc.cfg.Consistency == SC && len(cc.mshrs) != 0 {
+	if cc.cfg.Consistency == SC && cc.msCount != 0 {
 		cc.env.fail("cache %d: multiple outstanding misses under SC", cc.node)
 	}
-	cc.mshrs[b] = ms
+	blk.ms = ms
+	cc.msCount++
 	// Transaction ids are drawn unconditionally: the counter advances with
 	// the protocol's own deterministic order, so ids are stable run to run
 	// whether or not a sink is attached (and cost nothing either way).
@@ -561,7 +611,8 @@ func (cc *CacheCtrl) notifySelfInval(ev cache.Evicted) {
 func (cc *CacheCtrl) bufferStore(ps pendingStore) {
 	b := mem.BlockOf(ps.addr)
 	now := cc.env.Q.Now()
-	if e := cc.entries[b]; e != nil {
+	blk := cc.block(b)
+	if e := blk.wb; e != nil {
 		if !e.dataArrived {
 			// Coalesce into the outstanding entry.
 			e.coalesce(ps.addr, ps.st)
@@ -573,15 +624,15 @@ func (cc *CacheCtrl) bufferStore(ps pendingStore) {
 		e.blockedStores = append(e.blockedStores, ps)
 		return
 	}
-	if len(cc.entries) >= cc.cfg.WriteBufferEntries {
+	if cc.wbCount >= cc.cfg.WriteBufferEntries {
 		cc.stats.WBFullStalls++
 		cc.stalled = append(cc.stalled, ps)
 		return
 	}
-	cc.allocateEntry(b, ps)
+	cc.allocateEntry(b, blk, ps)
 }
 
-func (cc *CacheCtrl) allocateEntry(b mem.Addr, ps pendingStore) {
+func (cc *CacheCtrl) allocateEntry(b mem.Addr, blk *ccBlock, ps pendingStore) {
 	now := cc.env.Q.Now()
 	var e *wbEntry
 	if n := len(cc.wbFree); n > 0 {
@@ -592,21 +643,23 @@ func (cc *CacheCtrl) allocateEntry(b mem.Addr, ps pendingStore) {
 		e = &wbEntry{addr: b}
 	}
 	e.coalesce(ps.addr, ps.st)
-	cc.entries[b] = e
+	blk.wb = e
+	cc.wbCount++
 	cc.stats.WriteMisses++
-	cc.issueMiss(b, cc.newMshr(mshr{kind: opWrite, addr: ps.addr, st: ps.st, start: ps.start}))
+	cc.issueMiss(b, blk, cc.newMshr(mshr{kind: opWrite, addr: ps.addr, st: ps.st, start: ps.start}))
 	ps.cont(Result{Done: now, WBFullWait: now - ps.start})
 }
 
 // retire frees a write-buffer slot and wakes anything waiting on it.
 func (cc *CacheCtrl) retire(e *wbEntry) {
-	delete(cc.entries, e.addr)
+	cc.block(e.addr).wb = nil
+	cc.wbCount--
 	blocked := e.blockedStores
 	e.blockedStores = nil
 	for _, ps := range blocked {
 		cc.bufferStore(ps)
 	}
-	for len(cc.stalled) > 0 && len(cc.entries) < cc.cfg.WriteBufferEntries {
+	for len(cc.stalled) > 0 && cc.wbCount < cc.cfg.WriteBufferEntries {
 		ps := cc.stalled[0]
 		cc.stalled = cc.stalled[1:]
 		cc.bufferStore(ps)
@@ -700,7 +753,8 @@ func (cc *CacheCtrl) onRecall(m netsim.Message) {
 
 func (cc *CacheCtrl) onDataS(m netsim.Message) {
 	b := mem.BlockOf(m.Addr)
-	ms := cc.mshrs[b]
+	blk := cc.block(b)
+	ms := blk.ms
 	if ms == nil || ms.kind != opRead || (cc.cfg.Retry != nil && ms.txn != m.Txn) {
 		if cc.cfg.Retry != nil {
 			// Hardened: a duplicated or replayed grant whose miss already
@@ -713,7 +767,8 @@ func (cc *CacheCtrl) onDataS(m netsim.Message) {
 		cc.env.fail("cache %d: unexpected DataS for %#x", cc.node, uint64(b))
 		return
 	}
-	delete(cc.mshrs, b)
+	blk.ms = nil
+	cc.msCount--
 	cc.install(b, cache.Shared, m)
 	cont := ms.cont
 	cc.freeMshr(ms)
@@ -723,7 +778,8 @@ func (cc *CacheCtrl) onDataS(m netsim.Message) {
 
 func (cc *CacheCtrl) onDataX(m netsim.Message) {
 	b := mem.BlockOf(m.Addr)
-	ms := cc.mshrs[b]
+	blk := cc.block(b)
+	ms := blk.ms
 	hardened := cc.cfg.Retry != nil
 	if ms == nil {
 		if hardened {
@@ -743,7 +799,8 @@ func (cc *CacheCtrl) onDataX(m netsim.Message) {
 		// replayed grant with Pending cleared — standing in for the lost
 		// FinalAck — completes the operation here.
 		if hardened && !m.Pending {
-			delete(cc.mshrs, b)
+			blk.ms = nil
+			cc.msCount--
 			res := ms.res
 			res.Done = cc.env.Q.Now()
 			cont := ms.cont
@@ -758,7 +815,8 @@ func (cc *CacheCtrl) onDataX(m netsim.Message) {
 		cc.env.fail("cache %d: duplicate DataX for %#x", cc.node, uint64(b))
 		return
 	}
-	delete(cc.mshrs, b)
+	blk.ms = nil
+	cc.msCount--
 	cc.install(b, cache.Exclusive, m)
 	if ms.kind == opRead {
 		// A migratory exclusive grant answering a read: the block arrives
@@ -768,14 +826,15 @@ func (cc *CacheCtrl) onDataX(m netsim.Message) {
 		cc.freeMshr(ms)
 		cont(Result{Done: cc.env.Q.Now(), InvWait: m.InvWait, Value: m.Data})
 	} else {
-		cc.applyGrant(b, ms, m)
+		cc.applyGrant(b, blk, ms, m)
 	}
 	cc.postInstall(b, m)
 }
 
 func (cc *CacheCtrl) onAckX(m netsim.Message) {
 	b := mem.BlockOf(m.Addr)
-	ms := cc.mshrs[b]
+	blk := cc.block(b)
+	ms := blk.ms
 	if ms == nil || ms.kind == opRead || ms.waitingFinal ||
 		(cc.cfg.Retry != nil && ms.txn != m.Txn) {
 		if cc.cfg.Retry != nil {
@@ -785,7 +844,8 @@ func (cc *CacheCtrl) onAckX(m netsim.Message) {
 		cc.env.fail("cache %d: unexpected AckX for %#x", cc.node, uint64(b))
 		return
 	}
-	delete(cc.mshrs, b)
+	blk.ms = nil
+	cc.msCount--
 	// The AckX carries the block's committed contents as simulator
 	// bookkeeping (a tracked shared copy always equals home memory, so no
 	// data moves on the simulated wire): even if the shared copy was
@@ -793,14 +853,14 @@ func (cc *CacheCtrl) onAckX(m netsim.Message) {
 	// fills for other blocks arrive while stores are buffered — the install
 	// below reconstructs it exactly.
 	cc.install(b, cache.Exclusive, m)
-	cc.applyGrant(b, ms, m)
+	cc.applyGrant(b, blk, ms, m)
 	cc.postInstall(b, m)
 }
 
 // applyGrant performs the buffered store or swap once exclusive ownership
 // arrives, and completes the processor operation (or parks it awaiting the
 // weak-consistency FinalAck).
-func (cc *CacheCtrl) applyGrant(b mem.Addr, ms *mshr, m netsim.Message) {
+func (cc *CacheCtrl) applyGrant(b mem.Addr, blk *ccBlock, ms *mshr, m netsim.Message) {
 	now := cc.env.Q.Now()
 	f, ok := cc.c.Peek(b)
 	if !ok {
@@ -818,7 +878,7 @@ func (cc *CacheCtrl) applyGrant(b mem.Addr, ms *mshr, m netsim.Message) {
 			// pendingFinal it owns the lost-FinalAck probe timer.
 			txnID, gen := ms.txn, ms.tgen
 			cc.freeMshr(ms)
-			e := cc.entries[b]
+			e := blk.wb
 			if e == nil {
 				cc.env.fail("cache %d: WC write grant without wb entry for %#x", cc.node, uint64(b))
 				return
@@ -855,7 +915,8 @@ func (cc *CacheCtrl) applyGrant(b mem.Addr, ms *mshr, m netsim.Message) {
 			// until the directory's FinalAck.
 			ms.waitingFinal = true
 			ms.res = res
-			cc.mshrs[b] = ms
+			blk.ms = ms
+			cc.msCount++
 			return
 		}
 		cont := ms.cont
@@ -867,7 +928,8 @@ func (cc *CacheCtrl) applyGrant(b mem.Addr, ms *mshr, m netsim.Message) {
 func (cc *CacheCtrl) onFinalAck(m netsim.Message) {
 	b := mem.BlockOf(m.Addr)
 	hardened := cc.cfg.Retry != nil
-	if e := cc.entries[b]; e != nil {
+	blk := cc.block(b)
+	if e := blk.wb; e != nil {
 		if !e.pendingFinal || (hardened && e.txn != m.Txn) {
 			if hardened {
 				cc.stats.StraysIgnored++
@@ -879,12 +941,13 @@ func (cc *CacheCtrl) onFinalAck(m netsim.Message) {
 		cc.retire(e)
 		return
 	}
-	if ms := cc.mshrs[b]; ms != nil && ms.waitingFinal {
+	if ms := blk.ms; ms != nil && ms.waitingFinal {
 		if hardened && ms.txn != m.Txn {
 			cc.stats.StraysIgnored++
 			return
 		}
-		delete(cc.mshrs, b)
+		blk.ms = nil
+		cc.msCount--
 		res := ms.res
 		res.Done = cc.env.Q.Now()
 		cont := ms.cont

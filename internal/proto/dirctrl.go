@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"dsisim/internal/blockmap"
 	"dsisim/internal/core"
 	"dsisim/internal/directory"
 	"dsisim/internal/event"
@@ -86,6 +87,32 @@ type DirStats struct {
 	StrayAcks   int64 // duplicate/stale acknowledgments tolerated
 }
 
+// dirBlock is one block's hot directory-controller state, co-located in a
+// single blockmap record: the live transaction, the head/tail of the queue
+// of requests waiting behind it (freelist-linked through DirCtrl.qNodes, no
+// per-block slice), and a cached pointer to the block's directory entry so
+// the steady-state request path does one block-table lookup, not three hash
+// probes.
+type dirBlock struct {
+	// t is the live transaction; nil when the block is not busy.
+	t *txn
+	// qHead/qTail link the queued requests through DirCtrl.qNodes, stored
+	// as index+1 so the zeroed record means "empty queue". qLen mirrors the
+	// list length for the QueueLimit check and diagnostics.
+	qHead, qTail int32
+	qLen         int32
+	// ent caches the directory entry pointer (stable for the directory's
+	// lifetime), filled on first use.
+	ent *directory.Entry
+}
+
+// queueNode is one pooled pending-request record; next is index+1 into
+// DirCtrl.qNodes (0 terminates the list / the free list).
+type queueNode struct {
+	m    netsim.Message
+	next int32
+}
+
 // DirCtrl is the directory controller of one home node.
 type DirCtrl struct {
 	env    *Env
@@ -95,8 +122,15 @@ type DirCtrl struct {
 	memory mem.Memory
 	server event.Server
 
-	busy  map[mem.Addr]*txn
-	queue map[mem.Addr][]netsim.Message
+	// blocks is the dense per-block state table (replaces the busy and
+	// queue hash maps).
+	blocks blockmap.Map[dirBlock]
+	// qNodes backs every block's pending-request list; qFree heads the free
+	// list (index+1, 0 = empty). busyCount tracks blocks with a live
+	// transaction for BusyBlocks.
+	qNodes    []queueNode
+	qFree     int32
+	busyCount int
 
 	// calls is the free list of pooled admit→process dispatch records; see
 	// dirCall. Single-threaded per machine, so a plain stack suffices.
@@ -107,6 +141,88 @@ type DirCtrl struct {
 	rtFree []*dirRetryCall
 
 	stats DirStats
+}
+
+// Reset returns the controller to its initial state under a (possibly
+// different) protocol configuration, keeping every allocation: the
+// directory's block table, the home memory image's table, the per-block
+// state table with its queue-node arena, and the pooled record free lists.
+// Machine reuse calls this between runs.
+func (dc *DirCtrl) Reset(cfg Config) {
+	if cfg.SharerLimit == 1 {
+		panic("proto: SharerLimit must be 0 (full map) or >= 2")
+	}
+	dc.cfg = cfg
+	dc.dir.Reset()
+	dc.memory.Reset()
+	dc.server.Reset()
+	dc.blocks.Reset()
+	dc.qNodes = dc.qNodes[:0]
+	dc.qFree = 0
+	dc.busyCount = 0
+	dc.stats = DirStats{}
+}
+
+// block returns b's co-located state record, creating it on first touch.
+//
+//dsi:hotpath
+func (dc *DirCtrl) block(b mem.Addr) *dirBlock {
+	return dc.blocks.Ensure(mem.BlockIndex(b))
+}
+
+// entry returns b's directory entry through the record's cached pointer.
+//
+//dsi:hotpath
+func (dc *DirCtrl) entry(db *dirBlock, b mem.Addr) *directory.Entry {
+	if db.ent == nil {
+		db.ent = dc.dir.Entry(b)
+	}
+	return db.ent
+}
+
+// pushQueue appends m to db's pending-request list.
+//
+//dsi:hotpath
+func (dc *DirCtrl) pushQueue(db *dirBlock, m netsim.Message) {
+	var id int32
+	if dc.qFree != 0 {
+		id = dc.qFree - 1
+		dc.qFree = dc.qNodes[id].next
+	} else {
+		dc.qNodes = append(dc.qNodes, queueNode{})
+		id = int32(len(dc.qNodes) - 1)
+	}
+	n := &dc.qNodes[id]
+	n.m = m
+	n.next = 0
+	if db.qTail != 0 {
+		dc.qNodes[db.qTail-1].next = id + 1
+	} else {
+		db.qHead = id + 1
+	}
+	db.qTail = id + 1
+	db.qLen++
+}
+
+// popQueue removes and returns the head of db's pending-request list.
+//
+//dsi:hotpath
+func (dc *DirCtrl) popQueue(db *dirBlock) (netsim.Message, bool) {
+	if db.qHead == 0 {
+		return netsim.Message{}, false
+	}
+	id := db.qHead - 1
+	n := &dc.qNodes[id]
+	m := n.m
+	db.qHead = n.next
+	if db.qHead == 0 {
+		db.qTail = 0
+	}
+	db.qLen--
+	n.m = netsim.Message{}
+	n.next = dc.qFree
+	dc.qFree = id + 1
+	return m, true
 }
 
 // dirCall is a pooled record carrying one admitted request across the
@@ -134,12 +250,10 @@ func NewDirCtrl(env *Env, node int, cfg Config) *DirCtrl {
 		panic("proto: SharerLimit must be 0 (full map) or >= 2")
 	}
 	return &DirCtrl{
-		env:   env,
-		node:  node,
-		cfg:   cfg,
-		dir:   directory.New(node),
-		busy:  make(map[mem.Addr]*txn),
-		queue: make(map[mem.Addr][]netsim.Message),
+		env:  env,
+		node: node,
+		cfg:  cfg,
+		dir:  directory.New(node),
 	}
 }
 
@@ -154,7 +268,7 @@ func (dc *DirCtrl) Stats() DirStats { return dc.stats }
 
 // BusyBlocks returns the number of blocks with live transactions, for
 // quiesce detection.
-func (dc *DirCtrl) BusyBlocks() int { return len(dc.busy) }
+func (dc *DirCtrl) BusyBlocks() int { return dc.busyCount }
 
 //dsi:hotpath
 func (dc *DirCtrl) send(m netsim.Message) {
@@ -180,9 +294,10 @@ func (dc *DirCtrl) newTxn(init txn) *txn {
 // coherence action to re-send on timeout, marks the block busy, emits the
 // transaction-start event, and — hardened only — arms the retry timer.
 // Callers send the initial action messages themselves.
-func (dc *DirCtrl) openTxn(b mem.Addr, t *txn, action netsim.Kind) {
+func (dc *DirCtrl) openTxn(db *dirBlock, b mem.Addr, t *txn, action netsim.Kind) {
 	t.action = action
-	dc.busy[b] = t
+	db.t = t
+	dc.busyCount++
 	if sk := dc.env.Sink; sk != nil {
 		sk.OnTxnStart(dc.env.Q.Now(), dc.node, b, t.req.Txn, t.req.Src, t.req.Kind)
 	}
@@ -243,20 +358,21 @@ func (dc *DirCtrl) admit(m netsim.Message) {
 //dsi:hotpath
 func (dc *DirCtrl) process(m netsim.Message) {
 	b := mem.BlockOf(m.Addr)
-	if t := dc.busy[b]; t != nil {
+	db := dc.block(b)
+	if t := db.t; t != nil {
 		if dc.cfg.Retry != nil {
-			if dc.isDuplicate(t, b, m) {
+			if dc.isDuplicate(t, db, m) {
 				dc.stats.DupRequests++
 				return
 			}
-			if lim := dc.cfg.Retry.QueueLimit; lim > 0 && len(dc.queue[b]) >= lim {
+			if lim := dc.cfg.Retry.QueueLimit; lim > 0 && int(db.qLen) >= lim {
 				dc.stats.NacksSent++
 				dc.send(netsim.Message{Kind: netsim.Nack, Dst: m.Src, Addr: b, Txn: m.Txn})
 				return
 			}
 		}
 		dc.stats.Queued++
-		dc.queue[b] = append(dc.queue[b], m)
+		dc.pushQueue(db, m)
 		return
 	}
 	if dc.cfg.Retry != nil && dc.replayed(b, m) {
@@ -265,25 +381,25 @@ func (dc *DirCtrl) process(m netsim.Message) {
 	dc.stats.Requests++
 	switch m.Kind {
 	case netsim.GetS:
-		dc.processRead(m)
+		dc.processRead(m, db)
 	case netsim.GetX, netsim.Upgrade:
-		dc.processWrite(m)
+		dc.processWrite(m, db)
 	default:
 		dc.env.fail("dir %d: non-request kind %v reached process", dc.node, m)
 	}
 	// Requests served immediately (no transaction) must still release any
 	// requests that queued behind the block while it was busy.
-	if dc.busy[b] == nil {
-		dc.dequeue(b)
+	if db.t == nil {
+		dc.dequeue(db)
 	}
 }
 
-func (dc *DirCtrl) processRead(m netsim.Message) {
+func (dc *DirCtrl) processRead(m netsim.Message, db *dirBlock) {
 	b := mem.BlockOf(m.Addr)
-	e := dc.dir.Entry(b)
+	e := dc.entry(db, b)
 	pol := dc.cfg.Policy
 	if pol.Migratory && e.Migratory && !e.State.IsShared() {
-		dc.processMigratoryRead(m, e)
+		dc.processMigratoryRead(m, db, e)
 		return
 	}
 	if pol.Migratory {
@@ -317,7 +433,7 @@ func (dc *DirCtrl) processRead(m netsim.Message) {
 			procDone: dc.env.Q.Now(),
 		})
 		dc.stats.Recalls++
-		dc.openTxn(b, t, netsim.Recall)
+		dc.openTxn(db, b, t, netsim.Recall)
 		dc.send(netsim.Message{Kind: netsim.Recall, Dst: e.Owner, Addr: b, Txn: m.Txn})
 		return
 	}
@@ -349,7 +465,7 @@ func (dc *DirCtrl) processRead(m netsim.Message) {
 					pending: directory.NodeSet(0).Add(victim), ownerWas: -1, prev: e.State,
 					procDone: dc.env.Q.Now(),
 				})
-				dc.openTxn(b, t, netsim.Inv)
+				dc.openTxn(db, b, t, netsim.Inv)
 				dc.send(netsim.Message{Kind: netsim.Inv, Dst: victim, Addr: b, Txn: m.Txn})
 				return
 			}
@@ -373,7 +489,7 @@ func (dc *DirCtrl) processRead(m netsim.Message) {
 // the reader becomes the owner, saving its anticipated upgrade. If the
 // returning data shows the previous owner never actually wrote, the block
 // is demoted out of migratory mode.
-func (dc *DirCtrl) processMigratoryRead(m netsim.Message, e *directory.Entry) {
+func (dc *DirCtrl) processMigratoryRead(m netsim.Message, db *dirBlock, e *directory.Entry) {
 	b := mem.BlockOf(m.Addr)
 	pol := dc.cfg.Policy
 	dc.stats.MigratoryGrants++
@@ -390,7 +506,7 @@ func (dc *DirCtrl) processMigratoryRead(m netsim.Message, e *directory.Entry) {
 			migratoryRead: true,
 		})
 		dc.stats.Invalidates++
-		dc.openTxn(b, t, netsim.Inv)
+		dc.openTxn(db, b, t, netsim.Inv)
 		dc.send(netsim.Message{Kind: netsim.Inv, Dst: e.Owner, Addr: b, Txn: m.Txn})
 		return
 	}
@@ -405,9 +521,9 @@ func (dc *DirCtrl) processMigratoryRead(m netsim.Message, e *directory.Entry) {
 	dc.sendGrant(m.Src, b, false, si, ver, hasVer, 0, false, m.Txn)
 }
 
-func (dc *DirCtrl) processWrite(m netsim.Message) {
+func (dc *DirCtrl) processWrite(m netsim.Message, db *dirBlock) {
 	b := mem.BlockOf(m.Addr)
-	e := dc.dir.Entry(b)
+	e := dc.entry(db, b)
 	pol := dc.cfg.Policy
 	wasSharer := e.State.IsShared() && e.Sharers.Has(m.Src)
 	others := e.Sharers.Remove(m.Src)
@@ -452,7 +568,7 @@ func (dc *DirCtrl) processWrite(m netsim.Message) {
 			procDone: dc.env.Q.Now(),
 		})
 		dc.stats.Invalidates++
-		dc.openTxn(b, t, netsim.Inv)
+		dc.openTxn(db, b, t, netsim.Inv)
 		dc.send(netsim.Message{Kind: netsim.Inv, Dst: e.Owner, Addr: b, Txn: m.Txn})
 
 	case e.State.IsShared() && !others.Empty():
@@ -461,7 +577,7 @@ func (dc *DirCtrl) processWrite(m netsim.Message) {
 			pending: others, ownerWas: -1, prev: e.State,
 			procDone: dc.env.Q.Now(),
 		})
-		dc.openTxn(b, t, netsim.Inv)
+		dc.openTxn(db, b, t, netsim.Inv)
 		e.Sharers = 0
 		others.ForEach(func(n int) {
 			dc.stats.Invalidates++
@@ -477,7 +593,7 @@ func (dc *DirCtrl) processWrite(m netsim.Message) {
 			if sk := dc.env.Sink; sk != nil {
 				sk.OnDirState(dc.env.Q.Now(), dc.node, b, m.Txn, prev, e.State)
 			}
-			dc.reply(t, true)
+			dc.reply(t, db, true)
 		}
 
 	default:
@@ -516,14 +632,14 @@ func (dc *DirCtrl) sendGrant(dst int, b mem.Addr, upgrade, si bool, ver uint8, h
 // reply finishes a transaction's grant. For reads it sends DataS; for
 // writes it sends the exclusive grant (used both at completion under SC and
 // early under WC).
-func (dc *DirCtrl) reply(t *txn, early bool) {
+func (dc *DirCtrl) reply(t *txn, db *dirBlock, early bool) {
 	b := mem.BlockOf(t.req.Addr)
 	var invWait event.Time
 	if !early {
 		invWait = dc.env.Q.Now() - t.procDone
 	}
 	if t.isRead {
-		e := dc.dir.Entry(b)
+		e := dc.entry(db, b)
 		prev := e.State
 		switch {
 		case !t.tearOff:
@@ -552,9 +668,9 @@ func (dc *DirCtrl) reply(t *txn, early bool) {
 }
 
 // complete finishes a transaction once all acknowledgments are in.
-func (dc *DirCtrl) complete(t *txn) {
+func (dc *DirCtrl) complete(t *txn, db *dirBlock) {
 	b := mem.BlockOf(t.req.Addr)
-	e := dc.dir.Entry(b)
+	e := dc.entry(db, b)
 	switch {
 	case t.isRead:
 		// The recalled owner keeps a downgraded shared copy — unless its
@@ -565,7 +681,7 @@ func (dc *DirCtrl) complete(t *txn) {
 			}
 			e.LastOwner = t.ownerWas
 		}
-		dc.reply(t, false)
+		dc.reply(t, db, false)
 	case t.wcPending:
 		if t.requesterDropped {
 			prev := e.State
@@ -585,31 +701,25 @@ func (dc *DirCtrl) complete(t *txn) {
 		if sk := dc.env.Sink; sk != nil && e.State != prev {
 			sk.OnDirState(dc.env.Q.Now(), dc.node, b, t.req.Txn, prev, e.State)
 		}
-		dc.reply(t, false)
+		dc.reply(t, db, false)
 	}
 	if sk := dc.env.Sink; sk != nil {
 		sk.OnTxnEnd(dc.env.Q.Now(), dc.node, b, t.req.Txn, t.req.Src)
 	}
-	delete(dc.busy, b)
+	db.t = nil
+	dc.busyCount--
 	*t = txn{}
 	dc.txns = append(dc.txns, t)
-	dc.dequeue(b)
+	dc.dequeue(db)
 }
 
-// dequeue re-admits the next queued request for block b, if any.
-func (dc *DirCtrl) dequeue(b mem.Addr) {
-	pending := dc.queue[b]
-	if len(pending) == 0 {
-		delete(dc.queue, b)
-		return
+// dequeue re-admits the next queued request for the block, if any.
+//
+//dsi:hotpath
+func (dc *DirCtrl) dequeue(db *dirBlock) {
+	if next, ok := dc.popQueue(db); ok {
+		dc.admit(next)
 	}
-	next := pending[0]
-	if len(pending) == 1 {
-		delete(dc.queue, b)
-	} else {
-		dc.queue[b] = pending[1:]
-	}
-	dc.admit(next)
 }
 
 // onAck consumes an invalidation/recall acknowledgment (or a NackHome
@@ -623,7 +733,8 @@ func (dc *DirCtrl) dequeue(b mem.Addr) {
 func (dc *DirCtrl) onAck(m netsim.Message, hasData, downgraded bool) {
 	b := mem.BlockOf(m.Addr)
 	hardened := dc.cfg.Retry != nil
-	t := dc.busy[b]
+	db := dc.block(b)
+	t := db.t
 	if t == nil {
 		if hardened && !hasData {
 			dc.stats.StrayAcks++
@@ -649,11 +760,11 @@ func (dc *DirCtrl) onAck(m netsim.Message, hasData, downgraded bool) {
 	if t.migratoryRead && hasData && m.Data.Writer != t.ownerWas {
 		// The invalidated owner never wrote the block: the migratory
 		// prediction cost it a copy for nothing. Demote.
-		dc.dir.Entry(b).Migratory = false
+		dc.entry(db, b).Migratory = false
 	}
 	t.pending = t.pending.Remove(m.Src)
 	if t.pending.Empty() {
-		dc.complete(t)
+		dc.complete(t, db)
 	}
 }
 
@@ -662,8 +773,9 @@ func (dc *DirCtrl) onAck(m netsim.Message, hasData, downgraded bool) {
 func (dc *DirCtrl) onWriteback(m netsim.Message, cause core.IdleCause) {
 	b := mem.BlockOf(m.Addr)
 	dc.memory.Write(b, m.Data)
-	e := dc.dir.Entry(b)
-	if t := dc.busy[b]; t != nil {
+	db := dc.block(b)
+	e := dc.entry(db, b)
+	if t := db.t; t != nil {
 		switch m.Src {
 		case t.ownerWas:
 			// The owner's writeback raced our Recall/Inv; the data is
@@ -696,14 +808,15 @@ func (dc *DirCtrl) onWriteback(m netsim.Message, cause core.IdleCause) {
 // by replacement or self-invalidation.
 func (dc *DirCtrl) onSharedDrop(m netsim.Message, cause core.IdleCause) {
 	b := mem.BlockOf(m.Addr)
-	e := dc.dir.Entry(b)
+	db := dc.block(b)
+	e := dc.entry(db, b)
 	if !e.State.IsShared() || !e.Sharers.Has(m.Src) {
 		// Stale: the copy was already invalidated by a racing transaction
 		// (the node acked the Inv unconditionally). Nothing to do.
 		return
 	}
 	e.Sharers = e.Sharers.Remove(m.Src)
-	if e.Sharers.Empty() && dc.busy[b] == nil {
+	if e.Sharers.Empty() && db.t == nil {
 		prev := e.State
 		dc.cfg.Policy.ID().SetIdle(e, cause, prev, m.SI)
 		if sk := dc.env.Sink; sk != nil && e.State != prev {

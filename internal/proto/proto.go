@@ -86,6 +86,14 @@ func (e *Env) NextTxn() uint64 {
 	return e.txnSeq
 }
 
+// Reset rewinds the transaction-id counter and installs the (possibly nil)
+// sink for the next run. The queue, network, layout, and CheckFail wiring
+// persist across machine reuse.
+func (e *Env) Reset(sink *obs.Sink) {
+	e.txnSeq = 0
+	e.Sink = sink
+}
+
 // fail reports a protocol invariant violation and does not return control to
 // the caller's normal path: it panics unless a test installed CheckFail.
 //

@@ -125,11 +125,15 @@ func doCacheRetry(arg any) {
 	cc, b, txnID, gen := rc.cc, rc.b, rc.txn, rc.gen
 	rc.b, rc.txn, rc.gen = 0, 0, 0
 	cc.rtFree = append(cc.rtFree, rc)
-	if ms := cc.mshrs[b]; ms != nil && ms.txn == txnID && ms.tgen == gen {
+	blk := cc.blocks.Get(mem.BlockIndex(b))
+	if blk == nil {
+		return
+	}
+	if ms := blk.ms; ms != nil && ms.txn == txnID && ms.tgen == gen {
 		cc.onMissTimeout(b, ms)
 		return
 	}
-	if e := cc.entries[b]; e != nil && e.pendingFinal && e.txn == txnID && e.tgen == gen {
+	if e := blk.wb; e != nil && e.pendingFinal && e.txn == txnID && e.tgen == gen {
 		cc.onFinalTimeout(b, e)
 	}
 	// Otherwise the transaction completed before the timer fired: stale.
@@ -199,7 +203,8 @@ func (cc *CacheCtrl) onNack(m netsim.Message) {
 		cc.env.fail("cache %d: Nack without retry enabled: %v", cc.node, m)
 		return
 	}
-	if ms := cc.mshrs[b]; ms != nil && ms.txn == m.Txn {
+	blk := cc.block(b)
+	if ms := blk.ms; ms != nil && ms.txn == m.Txn {
 		cc.stats.NacksRecv++
 		ms.retries++
 		if ms.retries > cc.cfg.Retry.Max {
@@ -210,7 +215,7 @@ func (cc *CacheCtrl) onNack(m netsim.Message) {
 		cc.armMissTimer(b, ms)
 		return
 	}
-	if e := cc.entries[b]; e != nil && e.pendingFinal && e.txn == m.Txn {
+	if e := blk.wb; e != nil && e.pendingFinal && e.txn == m.Txn {
 		cc.stats.NacksRecv++
 		e.retries++
 		if e.retries > cc.cfg.Retry.Max {
@@ -233,7 +238,7 @@ func (cc *CacheCtrl) onNack(m netsim.Message) {
 // and must not be clobbered. Anything else is a duplicate whose effect
 // already happened.
 func (cc *CacheCtrl) recoverGrantReplay(b mem.Addr, m netsim.Message) {
-	if e := cc.entries[b]; e != nil && e.pendingFinal && e.txn == m.Txn && !m.Pending {
+	if e := cc.block(b).wb; e != nil && e.pendingFinal && e.txn == m.Txn && !m.Pending {
 		if _, held := cc.c.Peek(b); !held {
 			cc.install(b, cache.Exclusive, m)
 		}
@@ -261,23 +266,22 @@ type OutstandingMiss struct {
 // DumpOutstanding lists the controller's outstanding misses and unretired
 // write-buffer entries, sorted by block address for deterministic output.
 func (cc *CacheCtrl) DumpOutstanding() []OutstandingMiss {
-	out := make([]OutstandingMiss, 0, len(cc.mshrs)+len(cc.entries))
-	//dsi:anyorder sorted below; order never reaches sim state
-	for b, ms := range cc.mshrs {
-		out = append(out, OutstandingMiss{
-			Addr: b, Txn: ms.txn, Op: ms.kind.String(),
-			Retries: ms.retries, Start: ms.start, WaitingFinal: ms.waitingFinal,
-		})
-	}
-	//dsi:anyorder sorted below; order never reaches sim state
-	for b, e := range cc.entries {
-		if e.pendingFinal && cc.mshrs[b] == nil {
+	out := make([]OutstandingMiss, 0, cc.msCount+cc.wbCount)
+	cc.blocks.ForEach(func(idx uint64, blk *ccBlock) {
+		b := mem.Addr(idx) << mem.BlockShift
+		if ms := blk.ms; ms != nil {
+			out = append(out, OutstandingMiss{
+				Addr: b, Txn: ms.txn, Op: ms.kind.String(),
+				Retries: ms.retries, Start: ms.start, WaitingFinal: ms.waitingFinal,
+			})
+		}
+		if e := blk.wb; e != nil && e.pendingFinal && blk.ms == nil {
 			out = append(out, OutstandingMiss{
 				Addr: b, Txn: e.txn, Op: "final-ack",
 				Retries: e.retries, WaitingFinal: true,
 			})
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Addr != out[j].Addr {
 			return out[i].Addr < out[j].Addr
@@ -322,8 +326,9 @@ func doDirRetry(arg any) {
 	dc, b, txnID, gen := rc.dc, rc.b, rc.txn, rc.gen
 	rc.b, rc.txn, rc.gen = 0, 0, 0
 	dc.rtFree = append(dc.rtFree, rc)
-	if t := dc.busy[b]; t != nil && t.req.Txn == txnID && t.tgen == gen {
-		dc.onTxnTimeout(b, t)
+	if db := dc.blocks.Get(mem.BlockIndex(b)); db != nil && db.t != nil &&
+		db.t.req.Txn == txnID && db.t.tgen == gen {
+		dc.onTxnTimeout(b, db.t)
 	}
 }
 
@@ -353,12 +358,12 @@ func (dc *DirCtrl) onTxnTimeout(b mem.Addr, t *txn) {
 
 // isDuplicate reports whether m is a retransmission of the block's live
 // transaction or of a request already queued behind it.
-func (dc *DirCtrl) isDuplicate(t *txn, b mem.Addr, m netsim.Message) bool {
+func (dc *DirCtrl) isDuplicate(t *txn, db *dirBlock, m netsim.Message) bool {
 	if t.req.Src == m.Src && t.req.Txn == m.Txn {
 		return true
 	}
-	for _, q := range dc.queue[b] {
-		if q.Src == m.Src && q.Txn == m.Txn {
+	for id := db.qHead; id != 0; id = dc.qNodes[id-1].next {
+		if q := &dc.qNodes[id-1].m; q.Src == m.Src && q.Txn == m.Txn {
 			return true
 		}
 	}
@@ -433,15 +438,18 @@ type BusyTxn struct {
 // DumpBusy lists the controller's live transactions, sorted by block
 // address for deterministic output.
 func (dc *DirCtrl) DumpBusy() []BusyTxn {
-	out := make([]BusyTxn, 0, len(dc.busy))
-	//dsi:anyorder sorted below; order never reaches sim state
-	for b, t := range dc.busy {
+	out := make([]BusyTxn, 0, dc.busyCount)
+	dc.blocks.ForEach(func(idx uint64, db *dirBlock) {
+		t := db.t
+		if t == nil {
+			return
+		}
 		out = append(out, BusyTxn{
-			Addr: b, Txn: t.req.Txn, Req: t.req.Kind, From: t.req.Src,
+			Addr: mem.Addr(idx) << mem.BlockShift, Txn: t.req.Txn, Req: t.req.Kind, From: t.req.Src,
 			Action: t.action, Pending: t.pending, Retries: t.retries,
-			Queued: len(dc.queue[b]),
+			Queued: int(db.qLen),
 		})
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
 }

@@ -13,6 +13,10 @@ type RNG struct {
 // New returns a generator seeded with seed.
 func New(seed uint64) *RNG { return &RNG{state: seed} }
 
+// Reseed rewinds the generator to the state New(seed) would produce, for
+// reuse without reallocating.
+func (r *RNG) Reseed(seed uint64) { r.state = seed }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

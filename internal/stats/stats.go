@@ -127,8 +127,8 @@ type Kernel struct {
 	// TypedEvents counts events scheduled through the typed path — each one
 	// a closure allocation avoided.
 	TypedEvents uint64
-	// PooledDeliveries counts network delivery records reused from the
-	// free list — each one a message-capture allocation avoided.
+	// PooledDeliveries counts network deliveries carried by pooled records
+	// — each one a per-send message-capture closure avoided.
 	PooledDeliveries uint64
 }
 

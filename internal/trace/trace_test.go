@@ -152,3 +152,33 @@ func TestReplayDeterministic(t *testing.T) {
 		t.Fatalf("replay nondeterministic: %d vs %d", a.TotalTime, b.TotalTime)
 	}
 }
+
+func TestCountsCachedAcrossCalls(t *testing.T) {
+	tr := &Trace{Procs: 1, Events: []Event{
+		{Kind: "read"}, {Kind: "read"}, {Kind: "write"}, {Kind: "barrier"},
+	}}
+	c := tr.Counts()
+	if c["read"] != 2 || c["write"] != 1 || c["barrier"] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+	if allocs := testing.AllocsPerRun(10, func() { _ = tr.Counts() }); allocs != 0 {
+		t.Fatalf("repeated Counts allocates %v maps/call", allocs)
+	}
+
+	// Appending events invalidates the cache.
+	tr.Events = append(tr.Events, Event{Kind: "read"})
+	if c = tr.Counts(); c["read"] != 3 {
+		t.Fatalf("counts stale after append: %v", c)
+	}
+
+	// CountsInto reuses the caller's map.
+	dst := make(map[string]int64)
+	if got := tr.CountsInto(dst); got["read"] != 3 {
+		t.Fatalf("CountsInto = %v", got)
+	}
+	other := &Trace{Events: []Event{{Kind: "halt"}}}
+	dst = other.CountsInto(dst)
+	if len(dst) != 1 || dst["halt"] != 1 {
+		t.Fatalf("CountsInto did not clear: %v", dst)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package dsisim
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation adds allocations of its own and would
+// trip the exact steady-state budgets.
+const raceEnabled = true
