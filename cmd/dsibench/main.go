@@ -4,8 +4,9 @@
 // Usage:
 //
 //	dsibench [-experiment all|tab1|fig3|fig4|fig5|tab2|tab3|sweep] [-procs N] [-test]
+//	         [-shard i/n]
 //	         [-cpuprofile f] [-memprofile f] [-trace f]
-//	         [-benchjson f] [-benchbaseline f] [-benchmaxregress frac]
+//	         [-benchjson f] [-benchcells list] [-benchbaseline f] [-benchmaxregress frac]
 //	         [-blockstats workload] [-protocol label] [-cachebytes n]
 //	         [-faults spec]
 //
@@ -20,19 +21,28 @@
 // trace`) instead of guessed at.
 //
 // -benchjson skips the paper artifacts and instead benchmarks the event
-// kernel end to end (repeated full simulations of one workload), writing a
-// benchstat-compatible summary — ns/op, allocs/op, events/sec — as JSON.
-// The repository keeps the current numbers in BENCH_kernel.json; regenerate
-// with:
+// kernel end to end (repeated full simulations of each tracked cell),
+// writing a benchstat-comparable summary — ns/op, allocs/op, events/sec —
+// as a JSON array, one element per cell. -benchcells picks the cells as
+// comma-separated workload:protocol pairs; the default tracks em3d under V
+// (the invalidation hot path) and ocean under W+DSI (the tear-off/DSI hot
+// path). The repository keeps the current numbers in BENCH_kernel.json;
+// regenerate with:
 //
-//	go run ./cmd/dsibench -benchjson BENCH_kernel.json
+//	go run ./cmd/dsibench -benchjson BENCH_kernel.json -procs 8
 //
 // -benchbaseline turns the same measurement into a regression gate: the
-// fresh numbers are compared against a committed baseline and the exit
-// status is nonzero if ns/op regressed by more than -benchmaxregress
-// (default 20%) or if allocs/op increased at all. CI runs:
+// fresh numbers are compared cell-by-cell against a committed baseline and
+// the exit status is nonzero if any cell's ns/op regressed — or its
+// events/sec throughput dropped — by more than -benchmaxregress (default
+// 20%), or if its allocs/op increased at all. CI runs:
 //
 //	go run ./cmd/dsibench -benchjson /tmp/bench.json -benchbaseline BENCH_kernel.json -procs 8
+//
+// -shard i/n (1-based) runs only the i-th of n round-robin slices of the
+// selected paper artifacts, so CI can fan the full suite out across jobs:
+//
+//	go run ./cmd/dsibench -experiment all -shard 2/3
 //
 // -blockstats runs one workload with the coherence-event sink attached and
 // prints the per-block lifetime metrics (time-in-state histograms,
@@ -53,6 +63,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
+	"strings"
 	"testing"
 	"time"
 
@@ -69,7 +80,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	benchjson := flag.String("benchjson", "", "benchmark the simulation kernel and write a JSON summary to this file instead of running experiments")
-	benchWorkload := flag.String("benchworkload", "em3d", "workload for -benchjson")
+	benchCells := flag.String("benchcells", "em3d:V,ocean:W+DSI", "tracked cells for -benchjson, comma-separated workload:protocol pairs")
 	benchScale := flag.Bool("benchpaper", false, "run -benchjson at paper scale instead of test scale")
 	benchBaseline := flag.String("benchbaseline", "", "compare the -benchjson measurement against this committed baseline and fail on regression")
 	benchMaxRegress := flag.Float64("benchmaxregress", 0.20, "tolerated fractional ns/op regression for -benchbaseline")
@@ -77,6 +88,7 @@ func main() {
 	protocol := flag.String("protocol", "V", "protocol label for -blockstats")
 	cacheBytes := flag.Int("cachebytes", 0, "cache size for -blockstats (0 = default 256 KiB)")
 	faultSpec := flag.String("faults", "", "fault-injection spec for -benchjson/-blockstats runs, e.g. drop=0.01,seed=7 (see docs/FAULTS.md)")
+	shard := flag.String("shard", "", "run only the i-th of n artifact slices, as i/n (1-based), e.g. 2/3")
 	flag.Parse()
 
 	var faults *dsisim.FaultConfig
@@ -126,7 +138,11 @@ func main() {
 	}()
 
 	if *benchjson != "" {
-		out, err := runKernelBench(*benchjson, *benchWorkload, *procs, *benchScale, faults)
+		cells, err := parseBenchCells(*benchCells)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := runKernelBench(*benchjson, cells, *procs, *benchScale, faults)
 		if err != nil {
 			fatal(err)
 		}
@@ -161,6 +177,13 @@ func main() {
 	if *exp != "all" {
 		names = []string{*exp}
 	}
+	if *shard != "" {
+		sharded, err := shardSlice(names, *shard)
+		if err != nil {
+			fatal(err)
+		}
+		names = sharded
+	}
 	for _, name := range names {
 		start := time.Now()
 		out, err := experiments.Run(name, o)
@@ -175,6 +198,51 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dsibench:", err)
 	os.Exit(1)
+}
+
+// shardSlice returns the i-th of n round-robin slices of names, parsing
+// spec as "i/n" with i in 1..n. Round-robin (not contiguous) so the shards
+// stay balanced when the artifact list is roughly sorted by cost.
+func shardSlice(names []string, spec string) ([]string, error) {
+	var i, n int
+	if c, err := fmt.Sscanf(spec, "%d/%d", &i, &n); err != nil || c != 2 {
+		return nil, fmt.Errorf("-shard %q: want i/n, e.g. 2/3", spec)
+	}
+	if n < 1 || i < 1 || i > n {
+		return nil, fmt.Errorf("-shard %q: want 1 <= i <= n", spec)
+	}
+	var out []string
+	for k := i - 1; k < len(names); k += n {
+		out = append(out, names[k])
+	}
+	return out, nil
+}
+
+// benchCell is one tracked (workload, protocol) benchmark configuration.
+type benchCell struct {
+	Workload string
+	Protocol dsisim.Protocol
+}
+
+// parseBenchCells parses the -benchcells list: comma-separated
+// workload:protocol pairs, e.g. "em3d:V,ocean:W+DSI".
+func parseBenchCells(spec string) ([]benchCell, error) {
+	var cells []benchCell
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		wl, proto, ok := strings.Cut(part, ":")
+		if !ok || wl == "" || proto == "" {
+			return nil, fmt.Errorf("-benchcells %q: want workload:protocol, e.g. em3d:V", part)
+		}
+		cells = append(cells, benchCell{Workload: wl, Protocol: dsisim.Protocol(proto)})
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("-benchcells %q: no cells", spec)
+	}
+	return cells, nil
 }
 
 // KernelBench is the JSON schema of -benchjson: one end-to-end measurement
@@ -198,91 +266,123 @@ type KernelBench struct {
 	GoVersion     string `json:"go_version"`
 }
 
-// runKernelBench benchmarks repeated full simulations with testing.Benchmark
-// and writes the summary JSON to path, returning the measurement.
-func runKernelBench(path, wl string, procs int, paperScale bool, faults *dsisim.FaultConfig) (KernelBench, error) {
+// runKernelBench benchmarks repeated full simulations of each tracked cell
+// with testing.Benchmark and writes the summary JSON (an array, one element
+// per cell) to path, returning the measurements.
+func runKernelBench(path string, cells []benchCell, procs int, paperScale bool, faults *dsisim.FaultConfig) ([]KernelBench, error) {
 	scale := dsisim.ScaleTest
 	scaleName := "test"
 	if paperScale {
 		scale = dsisim.ScalePaper
 		scaleName = "paper"
 	}
-	cfg := dsisim.Config{Workload: wl, Scale: scale, Protocol: dsisim.V, Processors: procs, Faults: faults}
+	out := make([]KernelBench, 0, len(cells))
+	for _, cell := range cells {
+		cfg := dsisim.Config{Workload: cell.Workload, Scale: scale, Protocol: cell.Protocol, Processors: procs, Faults: faults}
 
-	// One priming run for the kernel counters (identical every iteration:
-	// the simulation is deterministic).
-	probe, err := dsisim.Run(cfg)
-	if err != nil {
-		return KernelBench{}, err
-	}
-
-	r := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := dsisim.Run(cfg); err != nil {
-				b.Fatal(err)
-			}
+		// One priming run for the kernel counters (identical every
+		// iteration: the simulation is deterministic).
+		probe, err := dsisim.Run(cfg)
+		if err != nil {
+			return nil, err
 		}
-	})
 
-	out := KernelBench{
-		Workload:      wl,
-		Protocol:      string(dsisim.V),
-		Processors:    probeProcs(procs),
-		Scale:         scaleName,
-		Iterations:    r.N,
-		NsPerOp:       float64(r.NsPerOp()),
-		AllocsPerOp:   r.AllocsPerOp(),
-		BytesPerOp:    r.AllocedBytesPerOp(),
-		EventsPerOp:   probe.Kernel.Events,
-		EventsPerSec:  float64(probe.Kernel.Events) / (float64(r.NsPerOp()) / 1e9),
-		SimCycles:     int64(probe.TotalTime),
-		PeakQueue:     probe.Kernel.PeakQueue,
-		AllocsAvoided: probe.Kernel.AllocsAvoided(),
-		GoVersion:     runtime.Version(),
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dsisim.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		m := KernelBench{
+			Workload:      cell.Workload,
+			Protocol:      string(cell.Protocol),
+			Processors:    probeProcs(procs),
+			Scale:         scaleName,
+			Iterations:    r.N,
+			NsPerOp:       float64(r.NsPerOp()),
+			AllocsPerOp:   r.AllocsPerOp(),
+			BytesPerOp:    r.AllocedBytesPerOp(),
+			EventsPerOp:   probe.Kernel.Events,
+			EventsPerSec:  float64(probe.Kernel.Events) / (float64(r.NsPerOp()) / 1e9),
+			SimCycles:     int64(probe.TotalTime),
+			PeakQueue:     probe.Kernel.PeakQueue,
+			AllocsAvoided: probe.Kernel.AllocsAvoided(),
+			GoVersion:     runtime.Version(),
+		}
+		fmt.Printf("kernel bench %s/%s: %d iter, %.2fms/op, %d allocs/op, %.0f events/sec\n",
+			m.Workload, m.Protocol, r.N, m.NsPerOp/1e6, m.AllocsPerOp, m.EventsPerSec)
+		out = append(out, m)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
-		return KernelBench{}, err
+		return nil, err
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return KernelBench{}, err
+		return nil, err
 	}
-	fmt.Printf("kernel bench: %d iter, %.2fms/op, %d allocs/op, %.0f events/sec -> %s\n",
-		r.N, out.NsPerOp/1e6, out.AllocsPerOp, out.EventsPerSec, path)
+	fmt.Printf("kernel bench: %d cells -> %s\n", len(out), path)
 	return out, nil
 }
 
-// checkBaseline compares a fresh measurement against the committed baseline
-// JSON and fails on a ns/op regression beyond maxRegress (a fraction: 0.20
+// checkBaseline compares fresh measurements cell-by-cell against the
+// committed baseline JSON and fails on any cell whose ns/op regressed — or
+// whose events/sec throughput dropped — beyond maxRegress (a fraction: 0.20
 // tolerates 20%). Allocations are compared exactly — they are deterministic,
-// so any increase is a real leak, not noise. The measurement must cover the
-// same cell (workload, processors, scale) as the baseline, or the comparison
-// is meaningless and rejected.
-func checkBaseline(cur KernelBench, path string, maxRegress float64) error {
+// so any increase is a real leak, not noise. Every baseline cell must be
+// covered by a current measurement of the same (workload, protocol,
+// processors, scale), or the comparison is meaningless and rejected.
+func checkBaseline(cur []KernelBench, path string, maxRegress float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	var base KernelBench
+	var base []KernelBench
 	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("baseline %s: %w", path, err)
+		// Pre-array baselines held a single object; accept it so the gate
+		// still reads them and reports a cell mismatch instead of a parse
+		// error.
+		var one KernelBench
+		if err2 := json.Unmarshal(data, &one); err2 != nil {
+			return fmt.Errorf("baseline %s: %w", path, err)
+		}
+		base = []KernelBench{one}
 	}
-	if cur.Workload != base.Workload || cur.Processors != base.Processors || cur.Scale != base.Scale {
-		return fmt.Errorf("baseline %s measures %s/%dp/%s, current run measures %s/%dp/%s",
-			path, base.Workload, base.Processors, base.Scale, cur.Workload, cur.Processors, cur.Scale)
+	if len(base) == 0 {
+		return fmt.Errorf("baseline %s: no cells", path)
 	}
-	ratio := cur.NsPerOp / base.NsPerOp
-	fmt.Printf("baseline %s: %.2fms/op, current %.2fms/op (%.2fx, tolerance %.2fx)\n",
-		path, base.NsPerOp/1e6, cur.NsPerOp/1e6, ratio, 1+maxRegress)
-	if ratio > 1+maxRegress {
-		return fmt.Errorf("ns/op regressed %.1f%% (%.0f -> %.0f), tolerance %.0f%%",
-			(ratio-1)*100, base.NsPerOp, cur.NsPerOp, maxRegress*100)
-	}
-	if cur.AllocsPerOp > base.AllocsPerOp {
-		return fmt.Errorf("allocs/op regressed: %d -> %d (allocations are deterministic; this is a leak, not noise)",
-			base.AllocsPerOp, cur.AllocsPerOp)
+	for _, b := range base {
+		var c *KernelBench
+		for i := range cur {
+			if cur[i].Workload == b.Workload && cur[i].Protocol == b.Protocol &&
+				cur[i].Processors == b.Processors && cur[i].Scale == b.Scale {
+				c = &cur[i]
+				break
+			}
+		}
+		cellName := fmt.Sprintf("%s/%s/%dp/%s", b.Workload, b.Protocol, b.Processors, b.Scale)
+		if c == nil {
+			return fmt.Errorf("baseline %s tracks %s, which the current run did not measure (check -benchcells/-procs)",
+				path, cellName)
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		fmt.Printf("baseline %s: %.2fms/op, current %.2fms/op (%.2fx, tolerance %.2fx); %.0f -> %.0f events/sec\n",
+			cellName, b.NsPerOp/1e6, c.NsPerOp/1e6, ratio, 1+maxRegress, b.EventsPerSec, c.EventsPerSec)
+		if ratio > 1+maxRegress {
+			return fmt.Errorf("%s: ns/op regressed %.1f%% (%.0f -> %.0f), tolerance %.0f%%",
+				cellName, (ratio-1)*100, b.NsPerOp, c.NsPerOp, maxRegress*100)
+		}
+		if b.EventsPerSec > 0 && c.EventsPerSec < b.EventsPerSec*(1-maxRegress) {
+			return fmt.Errorf("%s: events/sec dropped %.1f%% (%.0f -> %.0f), tolerance %.0f%%",
+				cellName, (1-c.EventsPerSec/b.EventsPerSec)*100, b.EventsPerSec, c.EventsPerSec, maxRegress*100)
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			return fmt.Errorf("%s: allocs/op regressed: %d -> %d (allocations are deterministic; this is a leak, not noise)",
+				cellName, b.AllocsPerOp, c.AllocsPerOp)
+		}
 	}
 	return nil
 }

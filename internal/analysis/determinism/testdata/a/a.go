@@ -22,6 +22,12 @@ func spawn(ch chan int) {
 	_ = ch
 }
 
+func spawnWaived(work func()) {
+	//dsi:parmerge coordinator handshakes order all cross-goroutine state
+	go work()
+	go work() //dsi:parmerge trailing form also accepted
+}
+
 func mapIter(m map[int]int) int {
 	s := 0
 	for k := range m { // want `map iteration in simulation package`

@@ -7,7 +7,7 @@ import (
 	"strings"
 )
 
-// The framework recognizes three //dsi: directives, written like //go:
+// The framework recognizes four //dsi: directives, written like //go:
 // compiler directives (no space after the slashes, at the start of a comment
 // line):
 //
@@ -21,10 +21,18 @@ import (
 //	                analyzer accepts the map iteration on that line; the
 //	                author asserts iteration order cannot reach simulation
 //	                state or output.
+//	//dsi:parmerge  on or immediately above a go statement: the determinism
+//	                analyzer accepts the goroutine spawn; the author asserts
+//	                the spawned work is part of the vetted deterministic
+//	                partition/merge machinery (the parallel delivery
+//	                engine), where every cross-goroutine access is ordered
+//	                by the coordinator's channel handshakes and results are
+//	                independent of goroutine scheduling.
 const (
 	DirectiveHotpath  = "dsi:hotpath"
 	DirectiveColdpath = "dsi:coldpath"
 	DirectiveAnyorder = "dsi:anyorder"
+	DirectiveParmerge = "dsi:parmerge"
 )
 
 // Directives is the per-package index of //dsi: annotations.
@@ -35,9 +43,10 @@ type Directives struct {
 	// (same-package resolution: the annotation must be in the analyzed
 	// package).
 	Coldpath map[types.Object]bool
-	// anyorder records, per file, the set of lines carrying a
-	// //dsi:anyorder comment.
+	// anyorder and parmerge record, per file, the set of lines carrying the
+	// corresponding statement-level waiver comment.
 	anyorder map[*token.File]map[int]bool
+	parmerge map[*token.File]map[int]bool
 }
 
 // CollectDirectives scans the package's syntax for //dsi: directives.
@@ -46,23 +55,29 @@ func CollectDirectives(fset *token.FileSet, files []*ast.File, info *types.Info)
 		Hotpath:  make(map[*ast.FuncDecl]bool),
 		Coldpath: make(map[types.Object]bool),
 		anyorder: make(map[*token.File]map[int]bool),
+		parmerge: make(map[*token.File]map[int]bool),
+	}
+	mark := func(idx map[*token.File]map[int]bool, tf *token.File, pos token.Pos) {
+		lines := idx[tf]
+		if lines == nil {
+			lines = make(map[int]bool)
+			idx[tf] = lines
+		}
+		lines[tf.Line(pos)] = true
 	}
 	for _, f := range files {
 		tf := fset.File(f.Pos())
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, "//"+DirectiveAnyorder) {
-					continue
-				}
 				if tf == nil {
 					continue
 				}
-				lines := d.anyorder[tf]
-				if lines == nil {
-					lines = make(map[int]bool)
-					d.anyorder[tf] = lines
+				switch {
+				case strings.HasPrefix(c.Text, "//"+DirectiveAnyorder):
+					mark(d.anyorder, tf, c.Pos())
+				case strings.HasPrefix(c.Text, "//"+DirectiveParmerge):
+					mark(d.parmerge, tf, c.Pos())
 				}
-				lines[tf.Line(c.Pos())] = true
 			}
 		}
 		for _, decl := range f.Decls {
@@ -91,11 +106,23 @@ func CollectDirectives(fset *token.FileSet, files []*ast.File, info *types.Info)
 // //dsi:anyorder directive (so the waiver can sit on its own line above the
 // loop or trail the loop header).
 func (d *Directives) Anyorder(fset *token.FileSet, pos token.Pos) bool {
+	return onLine(d.anyorder, fset, pos)
+}
+
+// Parmerge reports whether pos's line, or the line above it, carries a
+// //dsi:parmerge directive waiving the goroutine-spawn check for vetted
+// partition/merge code.
+func (d *Directives) Parmerge(fset *token.FileSet, pos token.Pos) bool {
+	return onLine(d.parmerge, fset, pos)
+}
+
+// onLine reports whether pos's line or the line above carries a mark.
+func onLine(idx map[*token.File]map[int]bool, fset *token.FileSet, pos token.Pos) bool {
 	tf := fset.File(pos)
 	if tf == nil {
 		return false
 	}
-	lines := d.anyorder[tf]
+	lines := idx[tf]
 	if lines == nil {
 		return false
 	}

@@ -58,6 +58,12 @@ type Frame struct {
 
 	lru    uint64
 	inList bool // member of the marked-frame list
+	// ep is the cache epoch the frame was last written in. A frame whose
+	// epoch is behind the cache's is logically empty: Reset bumps the epoch
+	// instead of clearing the array, and accessors lazily treat (or rewrite)
+	// stale frames as zero. This keeps pooled-machine Reset O(marked) rather
+	// than O(frames).
+	ep uint32
 }
 
 // Valid reports whether the frame holds a usable copy.
@@ -102,6 +108,7 @@ type Cache struct {
 	cfg    Config
 	sets   [][]Frame
 	clock  uint64
+	epoch  uint32   // frames with ep != epoch are logically empty
 	marked []*Frame // the hardware linked list of s-bit frames, arrival order
 	stats  Stats
 
@@ -129,11 +136,16 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // Reset empties every frame and clears the marked-frame list, LRU clock, and
 // counters, keeping the arrays so a reused machine starts from a cold cache
-// without reallocating.
+// without reallocating. Emptying is lazy: bumping the epoch invalidates
+// every frame at once, and the array is only physically cleared on the
+// (unreachable in practice) epoch wrap.
 func (c *Cache) Reset() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = Frame{}
+	c.epoch++
+	if c.epoch == 0 {
+		for _, set := range c.sets {
+			for i := range set {
+				set[i] = Frame{}
+			}
 		}
 	}
 	c.clock = 0
@@ -152,7 +164,7 @@ func (c *Cache) Lookup(a mem.Addr) (*Frame, bool) {
 	b := mem.BlockOf(a)
 	for i := range c.set(a) {
 		f := &c.set(a)[i]
-		if f.Valid() && f.Tag == b {
+		if f.ep == c.epoch && f.Valid() && f.Tag == b {
 			c.clock++
 			f.lru = c.clock
 			c.stats.Hits++
@@ -168,7 +180,7 @@ func (c *Cache) Peek(a mem.Addr) (*Frame, bool) {
 	b := mem.BlockOf(a)
 	for i := range c.set(a) {
 		f := &c.set(a)[i]
-		if f.Valid() && f.Tag == b {
+		if f.ep == c.epoch && f.Valid() && f.Tag == b {
 			return f, true
 		}
 	}
@@ -182,7 +194,7 @@ func (c *Cache) EchoVersion(a mem.Addr) (uint8, bool) {
 	b := mem.BlockOf(a)
 	for i := range c.set(a) {
 		f := &c.set(a)[i]
-		if !f.Valid() && f.HasVer && f.Tag == b {
+		if f.ep == c.epoch && !f.Valid() && f.HasVer && f.Tag == b {
 			return f.Ver, true
 		}
 	}
@@ -213,14 +225,14 @@ func (c *Cache) Install(a mem.Addr, fill Fill) (Evicted, bool) {
 	// Prefer: frame already holding this tag (valid or not), then any
 	// invalid frame, then LRU.
 	for i := range set {
-		if set[i].Tag == b && (set[i].Valid() || set[i].HasVer) {
+		if set[i].ep == c.epoch && set[i].Tag == b && (set[i].Valid() || set[i].HasVer) {
 			victim = i
 			break
 		}
 	}
 	if victim < 0 {
 		for i := range set {
-			if !set[i].Valid() {
+			if set[i].ep != c.epoch || !set[i].Valid() {
 				victim = i
 				break
 			}
@@ -235,6 +247,9 @@ func (c *Cache) Install(a mem.Addr, fill Fill) (Evicted, bool) {
 		}
 	}
 	f := &set[victim]
+	if f.ep != c.epoch {
+		*f = Frame{ep: c.epoch}
+	}
 	var ev Evicted
 	evicted := false
 	if f.Valid() && f.Tag != b {
@@ -354,7 +369,7 @@ func (c *Cache) SelfInvalidate(a mem.Addr) (Evicted, bool) {
 func (c *Cache) ForEachValid(fn func(*Frame)) {
 	for _, set := range c.sets {
 		for i := range set {
-			if set[i].Valid() {
+			if set[i].ep == c.epoch && set[i].Valid() {
 				fn(&set[i])
 			}
 		}

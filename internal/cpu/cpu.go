@@ -5,10 +5,14 @@
 // of the paper's Figure 3.
 //
 // Workload kernels are ordinary Go functions run on one goroutine per
-// simulated processor. A kernel blocks inside each Proc method while the
-// simulator advances; the handshake is fully serialized through the event
-// queue, so simulations are deterministic as long as kernels do not mutate
-// Go state shared between processors (read-only shared setup is fine).
+// simulated processor, scheduled cooperatively: exactly one goroutine — the
+// current "conch holder" — executes events at any moment, and the conch
+// moves between goroutines only when an event resumes a different
+// processor's kernel (see Driver). A kernel blocks inside each Proc method
+// while the simulator advances; execution is fully serialized through the
+// conch handoff, so simulations are deterministic as long as kernels do not
+// mutate Go state shared between processors (read-only shared setup is
+// fine).
 package cpu
 
 import (
@@ -75,9 +79,26 @@ type Proc struct {
 	barrier *Barrier
 	brk     *stats.Breakdown
 	rnd     *rng.RNG
+	drv     *Driver
 
-	req  chan request
-	res  chan response
+	// res carries the conch into this processor's kernel goroutine: the
+	// initial start gate and every cross-processor resume arrive here. A
+	// self-resume (this processor's own drive loop executes its resume event)
+	// uses the respReady flag instead and costs no channel operation at all —
+	// the structural win over the old per-op request/response handshake.
+	res chan response
+	// respReady: this processor's response is in resp (set only while it
+	// holds the conch). lostConch: the conch was handed to another goroutine
+	// mid-event; stop driving. Both fields are only ever written by the
+	// goroutine that currently holds the conch, which for these flags is the
+	// owning goroutine itself (see resumeProc), so they need no atomics.
+	respReady bool
+	lostConch bool
+	// gone receives one token when the kernel goroutine exits; see Join.
+	// Allocated once at construction and reused across runs (Join consumes
+	// the token), keeping Start allocation-free.
+	gone chan struct{}
+
 	seq  uint64 // store sequence for value tokens
 	done bool
 	halt event.Time
@@ -138,8 +159,8 @@ func New(id, n int, q *event.Queue, cc *proto.CacheCtrl, barrier *Barrier, brk *
 	p := &Proc{
 		id: id, n: n, q: q, cc: cc, barrier: barrier, brk: brk,
 		rnd:            rng.New(seed ^ uint64(id)*0x9e3779b97f4a7c15),
-		req:            make(chan request),
 		res:            make(chan response),
+		gone:           make(chan struct{}, 1),
 		SpinBackoffMax: 256,
 	}
 	p.contRead = p.onRead
@@ -169,6 +190,8 @@ func (p *Proc) Reset(seed uint64) {
 		panic("cpu: Reset of a processor that has not halted")
 	}
 	p.rnd.Reseed(seed ^ uint64(p.id)*0x9e3779b97f4a7c15)
+	p.respReady = false
+	p.lostConch = false
 	p.seq = 0
 	p.done = false
 	p.halt = 0
@@ -205,11 +228,168 @@ func (p *Proc) Err() error { return p.err }
 // Breakdown returns the processor's cycle attribution.
 func (p *Proc) Breakdown() *stats.Breakdown { return p.brk }
 
+// --- cooperative driver --------------------------------------------------------
+
+// Driver owns one machine's event-loop run. Exactly one goroutine at a time
+// — the conch holder — executes events: initially the goroutine that calls
+// Run ("main"), and after the per-processor start events fire, whichever
+// kernel goroutine an event most recently resumed. A kernel that issues an
+// operation drives the queue itself until its own response is ready
+// (respReady, no channel traffic) or until an event resumes a different
+// processor, at which point the conch moves with a single channel send and
+// the loser parks. Compared to the previous design — every operation
+// crossing two unbuffered channels into a central loop — this removes all
+// scheduler traffic from self-resumes and halves it for handoffs, without
+// changing the event stream: operations are issued at exactly the same
+// (time, seq) positions the central loop issued them at.
+//
+// Every field is only accessed by the current conch holder; the handoff
+// channel sends establish the happens-before edges that make that sound
+// under the race detector.
+type Driver struct {
+	q      *event.Queue
+	max    uint64
+	budget uint64
+
+	// limit is the window boundary for RunWindow-driven runs: driving pauses
+	// before executing any event at time >= limit. Negative disables the
+	// check entirely — the serial Run path never looks at the clock.
+	limit event.Time
+
+	// cur is the processor holding the conch; nil means main (the Run
+	// caller). mainLost tells main's drive loop the conch moved on.
+	cur      *Proc
+	mainLost bool
+
+	// done receives the run outcome (drained vs budget expired) from
+	// whichever holder stops driving; buffered so main can finish its own
+	// drive loop before receiving.
+	done chan bool
+}
+
+// NewDriver builds a driver for q. Reset arms it for a run.
+func NewDriver(q *event.Queue) *Driver {
+	return &Driver{q: q, done: make(chan bool, 1)}
+}
+
+// Reset arms the driver for one run with an event budget (the livelock
+// watchdog). A driver is reusable: each run consumes exactly one done
+// notification (Run) or one per window (RunWindow).
+func (d *Driver) Reset(budget uint64) {
+	d.max, d.budget = budget, budget
+	d.limit = -1
+	d.cur = nil
+	d.mainLost = false
+}
+
+// Steps returns the number of events executed since Reset.
+func (d *Driver) Steps() uint64 { return d.max - d.budget }
+
+// step executes one event within the budget. It returns false when driving
+// must stop for good — the queue drained or the budget expired — in which
+// case the outcome has been posted and the conch dies with this holder.
+//
+//dsi:hotpath
+func (d *Driver) step() bool {
+	if d.budget == 0 {
+		d.done <- false
+		return false
+	}
+	if d.limit >= 0 {
+		if t, ok := d.q.NextAt(); ok && t >= d.limit {
+			// Window boundary: pause without executing. The conch reverts to
+			// the goroutine that drives the next window (a pausing kernel
+			// goroutine parks on its res channel and is resumed by event, so
+			// cur must not keep pointing at it). No event ran in this call,
+			// so no handoff happened and the write is still private.
+			d.cur = nil
+			d.done <- true
+			return false
+		}
+	}
+	// Decrement before dispatch: the event may hand the conch to another
+	// goroutine mid-Step, and every driver access after the handoff send
+	// belongs to the new holder. An empty queue refunds the charge (no
+	// event ran, so no handoff happened and the refund is still private).
+	d.budget--
+	if !d.q.Step() {
+		d.budget++
+		d.cur = nil
+		d.done <- true
+		return false
+	}
+	return true
+}
+
+// Run drives the queue from the calling goroutine until the conch is handed
+// to a kernel goroutine, then blocks until the run completes. It returns the
+// number of events executed and whether the queue drained (false: the budget
+// expired with events still pending).
+func (d *Driver) Run() (steps uint64, drained bool) {
+	for {
+		if d.mainLost {
+			d.mainLost = false
+			break
+		}
+		if !d.step() {
+			break
+		}
+	}
+	drained = <-d.done
+	return d.max - d.budget, drained
+}
+
+// RunWindow drives the queue from the calling goroutine until the next
+// pending event's time reaches limit, the queue drains, or the budget
+// expires. It returns false only when the budget expired; a true return
+// means the partition quiesced for this window (boundary reached or queue
+// empty — the caller distinguishes via Queue.Len). The conch survives
+// pauses: a kernel goroutine blocked mid-operation at a boundary parks on
+// its resume channel exactly as it does across an ordinary handoff, and the
+// next RunWindow call (from any goroutine, provided calls are externally
+// ordered) picks the drive loop back up. The parallel delivery engine
+// (internal/machine) calls this once per conservative time window.
+func (d *Driver) RunWindow(limit event.Time) bool {
+	d.limit = limit
+	for {
+		if d.mainLost {
+			d.mainLost = false
+			break
+		}
+		if !d.step() {
+			break
+		}
+	}
+	return <-d.done
+}
+
 // --- kernel-side API ---------------------------------------------------------
 
+// rpc issues the operation and drives the event loop until this processor's
+// response is ready or the conch moves to another goroutine. Called on the
+// kernel goroutine, which holds the conch whenever kernel code runs.
 func (p *Proc) rpc(r request) response {
-	p.req <- r
-	return <-p.res
+	p.issue(r)
+	d := p.drv
+	for {
+		if p.respReady {
+			p.respReady = false
+			return p.resp
+		}
+		if p.lostConch {
+			// Another processor's kernel drives now; park until an event
+			// resumes us (the response rides the handoff).
+			p.lostConch = false
+			return <-p.res
+		}
+		if !d.step() {
+			// The run is over (drained or budget expired) with this kernel
+			// still blocked mid-operation. Park forever: the machine observes
+			// Done() == false, reports the deadlock, and rebuilds this
+			// processor before the next run.
+			return <-p.res
+		}
+	}
 }
 
 // Read performs a load and returns the accessed word with its block's
@@ -299,45 +479,88 @@ func (p *Proc) Assert(cond bool, format string, args ...any) {
 
 // --- driver side -------------------------------------------------------------
 
-// Start launches the kernel goroutine and schedules the processor's first
-// step at the current simulation time.
-func (p *Proc) Start(k Kernel) {
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				p.err = fmt.Errorf("%v", r)
-			}
-			p.req <- request{kind: opHalt}
-		}()
-		k(p)
-	}()
-	p.q.AfterCall(0, func(arg any) { arg.(*Proc).step() }, p)
+// Bind attaches the processor to the run's driver. The machine binds every
+// processor before starting kernels; a pooled processor is re-bound each
+// run.
+func (p *Proc) Bind(d *Driver) {
+	p.drv = d
+	p.respReady = false
+	p.lostConch = false
 }
 
-// resumeProc is the static typed-event action that delivers the pending
-// response to the kernel and fetches its next operation — the single resume
-// point every operation funnels through, with no per-op closure.
+// Start launches the kernel goroutine and schedules the processor's start
+// event at the current simulation time. The goroutine parks on the conch
+// gate immediately; the start event hands it the conch with an empty
+// response, exactly where the old design issued the kernel's first
+// operation.
+func (p *Proc) Start(k Kernel) {
+	select {
+	case <-p.gone: // drop a stale token from an unjoined previous run
+	default:
+	}
+	go func() {
+		defer func() { p.gone <- struct{}{} }()
+		<-p.res // conch gate
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					p.err = fmt.Errorf("%v", r)
+				}
+			}()
+			k(p)
+		}()
+		p.haltDrain()
+	}()
+	p.resp = response{}
+	p.q.AfterCall(0, resumeProc, p)
+}
+
+// Join blocks until the kernel goroutine launched by Start has fully
+// exited. A halted processor's goroutine may still be unwinding its drive
+// loop (reading lostConch) for a few instructions after the run's outcome
+// is posted; the next run's Reset would race with that read. The machine
+// joins every halted processor before reusing it. Join must only be called
+// for a processor whose kernel has halted — a deadlocked kernel's goroutine
+// is parked forever (the machine rebuilds such processors instead).
+func (p *Proc) Join() {
+	<-p.gone
+}
+
+// resumeProc is the static typed-event action every operation completion
+// funnels through. Executed by the current conch holder: a self-resume just
+// flags the response ready; resuming any other processor hands the conch
+// over with a single channel send (the holder's drive loop then stops via
+// lostConch/mainLost, set before the send so no queue state is touched
+// after it).
+//
+//dsi:hotpath
 func resumeProc(arg any) {
 	p := arg.(*Proc)
+	d := p.drv
+	h := d.cur
+	if h == p {
+		p.respReady = true
+		return
+	}
+	d.cur = p
+	if h != nil {
+		h.lostConch = true
+	} else {
+		d.mainLost = true
+	}
 	p.res <- p.resp
-	p.step()
 }
 
-// step retrieves the kernel's next operation and executes it. The channel
-// receive blocks the simulation until the kernel (which runs concurrently)
-// reaches its next operation; because each kernel only synchronizes with
-// its own driver, execution remains deterministic.
-func (p *Proc) step() {
-	r := <-p.req
+// issue starts executing the kernel's operation at the current simulated
+// time. Runs on the kernel goroutine while it holds the conch — the same
+// stream position the old central loop issued from.
+func (p *Proc) issue(r request) {
 	if p.OnOp != nil {
 		p.OnOp(TraceOp{Kind: opNames[r.kind], Addr: r.addr, Word: r.word, Cycles: r.cycles, Sync: r.sync})
 	}
 	p.r = r
 	p.start = p.q.Now()
 	switch r.kind {
-	case opHalt:
-		p.done = true
-		p.halt = p.q.Now()
 	case opCompute:
 		cat := stats.Compute
 		if r.sync {
@@ -358,6 +581,31 @@ func (p *Proc) step() {
 		p.flushThen(p.contFlushFinish)
 	case opBarrier:
 		p.cc.DrainWB(p.contBarrierDrained)
+	case opHalt:
+		panic("cpu: halt is not an issued operation")
+	}
+}
+
+// haltDrain marks the kernel halted and keeps driving the event loop until
+// the conch moves on or the run ends — a halted processor cannot abandon the
+// conch, or the simulation would stall with events pending. Runs on the
+// kernel goroutine after the kernel function returns; the goroutine exits
+// when this returns.
+func (p *Proc) haltDrain() {
+	if p.OnOp != nil {
+		p.OnOp(TraceOp{Kind: opNames[opHalt]})
+	}
+	p.done = true
+	p.halt = p.q.Now()
+	d := p.drv
+	for {
+		if p.lostConch {
+			p.lostConch = false
+			return
+		}
+		if !d.step() {
+			return
+		}
 	}
 }
 
@@ -523,6 +771,14 @@ type Barrier struct {
 	// are snapshotted when the declared number of initialization barriers
 	// has completed.
 	OnRelease func(episode int64)
+
+	// Collect, if set, turns this barrier into the local port of an external
+	// machine-wide barrier: every arrival is handed to the coordinator
+	// instead of being tallied here, and the coordinator schedules the
+	// release continuations itself. The parallel delivery engine installs
+	// one collecting barrier per partition; Episodes, Waiting, and OnRelease
+	// are then owned by the coordinator and stay unused on this instance.
+	Collect func(at event.Time, cont func())
 }
 
 // NewBarrier builds a barrier for n processors.
@@ -532,6 +788,10 @@ func NewBarrier(q *event.Queue, n int, latency event.Time) *Barrier {
 
 // Arrive registers a processor; cont runs at release time.
 func (b *Barrier) Arrive(cont func()) {
+	if b.Collect != nil {
+		b.Collect(b.q.Now(), cont)
+		return
+	}
 	b.waiting = append(b.waiting, cont)
 	if len(b.waiting) < b.n {
 		return
@@ -561,5 +821,6 @@ func (b *Barrier) Reset(latency event.Time) {
 	b.waiting = b.waiting[:0]
 	b.Episodes = 0
 	b.OnRelease = nil
+	b.Collect = nil
 	b.latency = latency
 }

@@ -14,6 +14,7 @@ import (
 // harness wires one standalone processor to a 2-node protocol stack.
 type harness struct {
 	q    *event.Queue
+	d    *Driver
 	bar  *Barrier
 	proc *Proc
 	brk  *stats.Breakdown
@@ -29,6 +30,7 @@ func newHarness(t *testing.T, nprocs int, cons proto.Consistency) ([]*Proc, *har
 		CheckFail: func(f string, a ...any) { t.Fatalf("protocol: "+f, a...) }}
 	cfg := proto.Config{Consistency: cons, WriteBufferEntries: 16}
 	bar := NewBarrier(q, nprocs, 100)
+	d := NewDriver(q)
 	var procs []*Proc
 	for i := 0; i < nprocs; i++ {
 		cc := proto.NewCacheCtrl(env, i, cfg, cache.Config{SizeBytes: 64 * mem.BlockSize, Assoc: 4})
@@ -42,16 +44,25 @@ func newHarness(t *testing.T, nprocs int, cons proto.Consistency) ([]*Proc, *har
 			}
 		})
 		brk := &stats.Breakdown{}
-		procs = append(procs, New(i, nprocs, q, cc, bar, brk, 42))
+		p := New(i, nprocs, q, cc, bar, brk, 42)
+		p.Bind(d)
+		procs = append(procs, p)
 	}
-	return procs, &harness{q: q, bar: bar, proc: procs[0], brk: procs[0].Breakdown(), net: net}
+	d.Reset(10_000_000)
+	return procs, &harness{q: q, d: d, bar: bar, proc: procs[0], brk: procs[0].Breakdown(), net: net}
 }
 
-func run(t *testing.T, q *event.Queue, procs []*Proc) {
+func run(t *testing.T, h *harness, procs []*Proc) {
 	t.Helper()
-	const cap = 10_000_000
-	if q.RunSteps(cap) == cap {
-		t.Fatal("livelock")
+	steps, drained := h.d.Run()
+	if !drained {
+		t.Fatalf("livelock: budget expired after %d events", steps)
+	}
+	for i, p := range procs {
+		if p.Done() {
+			p.Join()
+		}
+		_ = i
 	}
 	for i, p := range procs {
 		if !p.Done() {
@@ -69,7 +80,7 @@ func TestComputeCharges(t *testing.T) {
 		p.Compute(123)
 		p.Compute(0) // no-op
 	})
-	run(t, h.q, procs)
+	run(t, h, procs)
 	if h.brk.Cycles[stats.Compute] != 123 {
 		t.Fatalf("compute = %d", h.brk.Cycles[stats.Compute])
 	}
@@ -81,8 +92,7 @@ func TestComputeCharges(t *testing.T) {
 func TestNegativeComputePanicsIntoErr(t *testing.T) {
 	procs, h := newHarness(t, 1, proto.SC)
 	procs[0].Start(func(p *Proc) { p.Compute(-1) })
-	const cap = 1000
-	h.q.RunSteps(cap)
+	h.d.Run()
 	if procs[0].Err() == nil {
 		t.Fatal("negative compute did not error")
 	}
@@ -97,7 +107,7 @@ func TestReadWriteCategories(t *testing.T) {
 		p.Assert(v.Writer == 0 && v.Seq == 1, "v=%v", v)
 	})
 	procs[1].Start(func(p *Proc) {})
-	run(t, h.q, procs)
+	run(t, h, procs)
 	if h.brk.Cycles[stats.WriteOther] == 0 {
 		t.Fatal("write miss charged nothing to write-other")
 	}
@@ -122,7 +132,7 @@ func TestWordIsolationWithinBlock(t *testing.T) {
 			p.Assert(v.Word == uint64(100+i), "word %d = %d", i, v.Word)
 		}
 	})
-	run(t, h.q, procs)
+	run(t, h, procs)
 }
 
 func TestSwapReturnsOldWord(t *testing.T) {
@@ -133,7 +143,7 @@ func TestSwapReturnsOldWord(t *testing.T) {
 		p.Assert(p.Swap(a, 9) == 5, "second swap")
 		p.Assert(p.Read(a).Word == 9, "final read")
 	})
-	run(t, h.q, procs)
+	run(t, h, procs)
 }
 
 func TestLockMutualExclusionTiming(t *testing.T) {
@@ -156,7 +166,7 @@ func TestLockMutualExclusionTiming(t *testing.T) {
 	for _, p := range procs {
 		p.Start(kernel)
 	}
-	run(t, h.q, procs)
+	run(t, h, procs)
 	if h.brk.Cycles[stats.Sync] == 0 {
 		t.Fatal("lock activity charged no sync time")
 	}
@@ -172,7 +182,7 @@ func TestBarrierReleaseLatency(t *testing.T) {
 			pp.Barrier()
 		})
 	}
-	run(t, h.q, procs)
+	run(t, h, procs)
 	releases[0] = procs[0].HaltTime()
 	releases[1] = procs[1].HaltTime()
 	// Release = last arrival (≈20) + 100 latency; both release together.
@@ -197,7 +207,7 @@ func TestBarrierOnReleaseHook(t *testing.T) {
 			pp.Barrier()
 		})
 	}
-	run(t, h.q, procs)
+	run(t, h, procs)
 	if len(eps) != 2 || eps[0] != 1 || eps[1] != 2 {
 		t.Fatalf("hook episodes = %v", eps)
 	}
@@ -226,7 +236,7 @@ func TestTraceHookSeesProgramOrder(t *testing.T) {
 		p.Read(a)
 		p.Compute(5)
 	})
-	run(t, h.q, procs)
+	run(t, h, procs)
 	want := []string{"write", "read", "compute", "halt"}
 	if len(kinds) != len(want) {
 		t.Fatalf("trace = %v", kinds)
@@ -246,7 +256,7 @@ func TestWCWriteIsNonBlocking(t *testing.T) {
 		p.Compute(1)
 	})
 	procs[1].Start(func(p *Proc) {})
-	run(t, h.q, procs)
+	run(t, h, procs)
 	if h.brk.Cycles[stats.WriteOther]+h.brk.Cycles[stats.WriteInval] > 5 {
 		t.Fatalf("WC write stalled: %v", h.brk)
 	}

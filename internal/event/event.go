@@ -3,12 +3,17 @@
 // runs that schedule the same events in the same order produce identical
 // executions regardless of map iteration order or goroutine scheduling.
 //
-// The queue is a hand-specialized 4-ary min-heap over a flat item slice:
-// no container/heap, no interface boxing, no per-event allocation. Callers
-// on hot paths use the typed path (AtCall/AfterCall), which dispatches a
-// static Action with a caller-pooled argument instead of a fresh closure;
-// the closure path (At/After) remains for cold call sites. Both paths share
-// one (time, seq) total order, so mixing them cannot perturb determinism.
+// The queue is a hand-specialized 4-ary min-heap in structure-of-arrays
+// layout: the heap proper holds only the 16-byte (time, seq) ordering keys
+// plus a 4-byte payload slot index, while the event bodies (fn/act/arg) live
+// in a stable side pool addressed by slot. Sift-up and sift-down therefore
+// move 20 bytes per level instead of a full 48-byte event record, and the
+// key lane packs three heap entries per cache line. No container/heap, no
+// interface boxing, no per-event allocation. Callers on hot paths use the
+// typed path (AtCall/AfterCall), which dispatches a static Action with a
+// caller-pooled argument instead of a fresh closure; the closure path
+// (At/After) remains for cold call sites. Both paths share one (time, seq)
+// total order, so mixing them cannot perturb determinism.
 package event
 
 // Time is a simulated clock value in processor cycles.
@@ -20,14 +25,21 @@ type Func func()
 
 // Action is a typed event body: a static function invoked with the argument
 // it was scheduled with. Schedule pointer-shaped arguments (pointers, funcs)
-// — they store into the item without allocating, which is the point; pooled
-// records let steady-state simulation schedule without any allocation.
+// — they store into the payload pool without allocating, which is the point;
+// pooled records let steady-state simulation schedule without any allocation.
 type Action func(arg any)
 
-// item is one pending event. Exactly one of fn/act is set.
-type item struct {
+// key is the ordering lane of one pending event: exactly the 16 bytes the
+// heap compares. The payload lives in the side pool (see Queue.pays).
+type key struct {
 	at  Time
 	seq uint64
+}
+
+// payload is the dispatch lane of one pending event. Exactly one of fn/act
+// is set. Payloads never move while pending: the heap refers to them by slot
+// index, so sifts touch only the key and slot lanes.
+type payload struct {
 	fn  Func
 	act Action
 	arg any
@@ -45,9 +57,16 @@ type Stats struct {
 // Queue is a discrete-event scheduler. The zero value is ready to use with
 // the clock at time 0.
 type Queue struct {
-	now  Time
-	seq  uint64
-	heap []item
+	now Time
+	seq uint64
+
+	// The heap, split structure-of-arrays: keys[i]/slots[i] describe one
+	// pending event, ordered as a 4-ary min-heap over (at, seq); pays[slots[i]]
+	// is its body. freeSlots recycles payload slots of executed events.
+	keys      []key
+	slots     []int32
+	pays      []payload
+	freeSlots []int32
 
 	ran   uint64
 	typed uint64
@@ -58,10 +77,28 @@ type Queue struct {
 func (q *Queue) Now() Time { return q.now }
 
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.heap) }
+func (q *Queue) Len() int { return len(q.keys) }
 
 // Executed returns the total number of events that have run.
 func (q *Queue) Executed() uint64 { return q.ran }
+
+// LastSeq returns the insertion sequence of the most recently scheduled
+// event. Two events are adjacent in the execution order if they share a time
+// and were assigned consecutive sequences with none in between — the
+// condition internal/netsim uses to chain same-(time, dst) deliveries onto
+// one heap entry without reordering anything.
+func (q *Queue) LastSeq() uint64 { return q.seq }
+
+// NextAt returns the time of the earliest pending event. ok is false when
+// the queue is empty.
+//
+//dsi:hotpath
+func (q *Queue) NextAt() (t Time, ok bool) {
+	if len(q.keys) == 0 {
+		return 0, false
+	}
+	return q.keys[0].at, true
+}
 
 // Stats returns a snapshot of the kernel counters.
 func (q *Queue) Stats() Stats {
@@ -69,11 +106,14 @@ func (q *Queue) Stats() Stats {
 }
 
 // Reset returns the queue to its zero state (clock 0, empty heap, counters
-// cleared) while keeping the heap's capacity, so a pooled machine reused
+// cleared) while keeping every lane's capacity, so a pooled machine reused
 // across experiments starts from a clean ordering state.
 func (q *Queue) Reset() {
-	clear(q.heap) // drop fn/arg references so recycled queues don't pin them
-	q.heap = q.heap[:0]
+	clear(q.pays) // drop fn/arg references so recycled queues don't pin them
+	q.keys = q.keys[:0]
+	q.slots = q.slots[:0]
+	q.pays = q.pays[:0]
+	q.freeSlots = q.freeSlots[:0]
 	q.now, q.seq, q.ran, q.typed, q.peak = 0, 0, 0, 0, 0
 }
 
@@ -92,10 +132,24 @@ func (q *Queue) next(t Time) uint64 {
 	return q.seq
 }
 
+// alloc places a payload in the side pool and returns its slot.
+//
+//dsi:hotpath
+func (q *Queue) alloc(fn Func, act Action, arg any) int32 {
+	if n := len(q.freeSlots); n > 0 {
+		s := q.freeSlots[n-1]
+		q.freeSlots = q.freeSlots[:n-1]
+		q.pays[s] = payload{fn: fn, act: act, arg: arg}
+		return s
+	}
+	q.pays = append(q.pays, payload{fn: fn, act: act, arg: arg})
+	return int32(len(q.pays) - 1)
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a protocol timing bug, not a recoverable condition.
 func (q *Queue) At(t Time, fn Func) {
-	q.push(item{at: t, seq: q.next(t), fn: fn})
+	q.push(key{at: t, seq: q.next(t)}, q.alloc(fn, nil, nil))
 }
 
 // After schedules fn to run d cycles from now.
@@ -113,7 +167,7 @@ func (q *Queue) After(d Time, fn Func) {
 //dsi:hotpath
 func (q *Queue) AtCall(t Time, act Action, arg any) {
 	q.typed++
-	q.push(item{at: t, seq: q.next(t), act: act, arg: arg})
+	q.push(key{at: t, seq: q.next(t)}, q.alloc(nil, act, arg))
 }
 
 // AfterCall schedules act(arg) d cycles from now (typed path).
@@ -131,16 +185,21 @@ func (q *Queue) AfterCall(d Time, act Action, arg any) {
 //
 //dsi:hotpath
 func (q *Queue) Step() bool {
-	if len(q.heap) == 0 {
+	if len(q.keys) == 0 {
 		return false
 	}
-	it := q.pop()
-	q.now = it.at
+	at, s := q.pop()
+	q.now = at
 	q.ran++
-	if it.fn != nil {
-		it.fn()
+	// Copy the body and release the slot before dispatch: the event may
+	// schedule (and the slot be reused) while it runs.
+	p := q.pays[s]
+	q.pays[s] = payload{}
+	q.freeSlots = append(q.freeSlots, s)
+	if p.fn != nil {
+		p.fn()
 	} else {
-		it.act(it.arg)
+		p.act(p.arg)
 	}
 	return true
 }
@@ -155,10 +214,10 @@ func (q *Queue) Run() Time {
 // RunUntil executes events with time ≤ limit. Events scheduled beyond the
 // limit remain queued. It reports whether the queue drained.
 func (q *Queue) RunUntil(limit Time) bool {
-	for len(q.heap) > 0 && q.heap[0].at <= limit {
+	for len(q.keys) > 0 && q.keys[0].at <= limit {
 		q.Step()
 	}
-	return len(q.heap) == 0
+	return len(q.keys) == 0
 }
 
 // RunSteps executes at most n events; it reports how many ran. Useful as a
@@ -180,10 +239,11 @@ func (q *Queue) RunSteps(n uint64) uint64 {
 // tradeoff, and a consistent win for the simulator's push/pop-dominated
 // access pattern. Ordering is the same (time, seq) total order the binary
 // heap used; since it is total (seq is unique), heap shape cannot affect
-// pop order and results stay bit-exact.
+// pop order and results stay bit-exact. The keys/slots lanes move together;
+// payloads stay put.
 
 // before reports whether a orders strictly before b.
-func before(a, b *item) bool {
+func before(a, b key) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -191,45 +251,49 @@ func before(a, b *item) bool {
 }
 
 //dsi:hotpath
-func (q *Queue) push(it item) {
-	q.heap = append(q.heap, it)
-	if len(q.heap) > q.peak {
-		q.peak = len(q.heap)
+func (q *Queue) push(k key, s int32) {
+	q.keys = append(q.keys, k)
+	q.slots = append(q.slots, s)
+	if len(q.keys) > q.peak {
+		q.peak = len(q.keys)
 	}
 	// Sift up: move the hole toward the root until the parent orders first.
-	h := q.heap
-	i := len(h) - 1
+	ks, sl := q.keys, q.slots
+	i := len(ks) - 1
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !before(&it, &h[p]) {
+		if !before(k, ks[p]) {
 			break
 		}
-		h[i] = h[p]
+		ks[i], sl[i] = ks[p], sl[p]
 		i = p
 	}
-	h[i] = it
+	ks[i], sl[i] = k, s
 }
 
-//dsi:hotpath
-func (q *Queue) pop() item {
-	h := q.heap
-	top := h[0]
-	n := len(h) - 1
-	last := h[n]
-	h[n] = item{} // release fn/arg references
-	q.heap = h[:n]
-	if n > 0 {
-		q.siftDown(last)
-	}
-	return top
-}
-
-// siftDown re-inserts it starting from the root of the shrunken heap.
+// pop removes the minimum, returning its time and payload slot.
 //
 //dsi:hotpath
-func (q *Queue) siftDown(it item) {
-	h := q.heap
-	n := len(h)
+func (q *Queue) pop() (Time, int32) {
+	ks, sl := q.keys, q.slots
+	at := ks[0].at
+	s := sl[0]
+	n := len(ks) - 1
+	lastK, lastS := ks[n], sl[n]
+	q.keys, q.slots = ks[:n], sl[:n]
+	if n > 0 {
+		q.siftDown(lastK, lastS)
+	}
+	return at, s
+}
+
+// siftDown re-inserts the (k, s) pair starting from the root of the shrunken
+// heap.
+//
+//dsi:hotpath
+func (q *Queue) siftDown(k key, s int32) {
+	ks, sl := q.keys, q.slots
+	n := len(ks)
 	i := 0
 	for {
 		c := i<<2 + 1
@@ -243,17 +307,17 @@ func (q *Queue) siftDown(it item) {
 			end = n
 		}
 		for j := c + 1; j < end; j++ {
-			if before(&h[j], &h[m]) {
+			if before(ks[j], ks[m]) {
 				m = j
 			}
 		}
-		if !before(&h[m], &it) {
+		if !before(ks[m], k) {
 			break
 		}
-		h[i] = h[m]
+		ks[i], sl[i] = ks[m], sl[m]
 		i = m
 	}
-	h[i] = it
+	ks[i], sl[i] = k, s
 }
 
 // Server models a resource that serves one item at a time (a cache

@@ -287,6 +287,89 @@ func TestHeapOrderingFuzz(t *testing.T) {
 	}
 }
 
+// TestHeapSoAPayloadIntegrityFuzz targets the structure-of-arrays split: the
+// heap lanes (keys/slots) move during sifts while payload bodies stay put in
+// the side pool and slots are recycled across pops. Each scheduled event
+// carries a unique payload identity, mixing typed and closure bodies; every
+// pop must surface the body that was scheduled with its key, and the pool
+// must not grow beyond the peak number of pending events (slot recycling).
+func TestHeapSoAPayloadIntegrityFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		var q Queue
+		type rec struct {
+			at    Time
+			seq   int
+			typed bool
+		}
+		var scheduled, popped []rec
+		ids := make([]rec, 0, 600)
+		popID := func(arg any) { popped = append(popped, *arg.(*rec)) }
+		n := 0
+		for op := 0; op < 600; op++ {
+			if q.Len() > 0 && rng.Intn(3) == 0 {
+				q.Step()
+				continue
+			}
+			at := q.Now() + Time(rng.Intn(40))
+			r := rec{at: at, seq: n, typed: rng.Intn(2) == 0}
+			n++
+			scheduled = append(scheduled, r)
+			ids = append(ids, r)
+			id := &ids[len(ids)-1]
+			if r.typed {
+				q.AtCall(at, popID, id)
+			} else {
+				q.At(at, func() { popped = append(popped, *id) })
+			}
+		}
+		peak := q.Stats().PeakLen
+		if got := len(q.pays); got > peak {
+			t.Fatalf("trial %d: payload pool has %d slots for peak %d pending (slots not recycled)",
+				trial, got, peak)
+		}
+		q.Run()
+		sort.Slice(scheduled, func(i, j int) bool {
+			if scheduled[i].at != scheduled[j].at {
+				return scheduled[i].at < scheduled[j].at
+			}
+			return scheduled[i].seq < scheduled[j].seq
+		})
+		if len(popped) != len(scheduled) {
+			t.Fatalf("trial %d: popped %d of %d events", trial, len(popped), len(scheduled))
+		}
+		for i := range scheduled {
+			if popped[i] != scheduled[i] {
+				t.Fatalf("trial %d: pop %d delivered payload %+v, key order says %+v",
+					trial, i, popped[i], scheduled[i])
+			}
+		}
+	}
+}
+
+// TestNextAtAndLastSeq pins the accessors the batching and parallel layers
+// build on: NextAt peeks the earliest pending time without running anything,
+// and LastSeq advances exactly once per scheduled event.
+func TestNextAtAndLastSeq(t *testing.T) {
+	var q Queue
+	if _, ok := q.NextAt(); ok {
+		t.Fatal("NextAt on empty queue reported an event")
+	}
+	s0 := q.LastSeq()
+	q.At(9, func() {})
+	q.At(4, func() {})
+	if q.LastSeq() != s0+2 {
+		t.Fatalf("LastSeq = %d after two schedules from %d", q.LastSeq(), s0)
+	}
+	if at, ok := q.NextAt(); !ok || at != 4 {
+		t.Fatalf("NextAt = (%d, %v), want (4, true)", at, ok)
+	}
+	q.Step()
+	if at, ok := q.NextAt(); !ok || at != 9 {
+		t.Fatalf("NextAt after one step = (%d, %v), want (9, true)", at, ok)
+	}
+}
+
 // Property: events run in nondecreasing time order, and same-time events run
 // in insertion order.
 func TestQueueOrderingProperty(t *testing.T) {

@@ -155,7 +155,11 @@ type Matrix struct {
 
 // RunMatrix simulates the full grid. Cells are independent simulations
 // (each builds its own machine and workload instance), so they run
-// concurrently up to GOMAXPROCS; each cell remains bit-deterministic.
+// concurrently, capped at GOMAXPROCS in-flight cells by a counting
+// semaphore; each cell remains bit-deterministic, and the grid's results
+// are independent of completion order (each cell writes only its own
+// slot). For parallelism inside a single cell, set Config.Workers >= 2 on
+// the machine instead (the deterministic parallel delivery engine).
 func RunMatrix(workloads []string, labels []Label, o Options) (*Matrix, error) {
 	o = o.defaults()
 	m := &Matrix{Opt: o, Workloads: workloads, Labels: labels,

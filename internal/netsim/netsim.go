@@ -251,6 +251,15 @@ type Network struct {
 	inflight int
 	obs      Observer
 
+	// owner/remote turn this instance into one partition's port of a larger
+	// machine (the parallel delivery engine): sends whose destination is not
+	// the owning node are handed to the remote hook — with their fully
+	// computed arrival time, after NI occupancy, fault decisions, and FIFO
+	// clamping — instead of being scheduled locally. nil remote (the serial
+	// machine) costs one predictable branch per scheduled delivery.
+	owner  int
+	remote func(m Message, arrive event.Time)
+
 	// faults and pairLast exist only when a fault plan is installed:
 	// pairLast[src*nodes+dst] is the latest delivery time scheduled for that
 	// ordered pair, the floor for the pair's next delivery.
@@ -262,31 +271,59 @@ type Network struct {
 	// steady state every Send reuses a record and allocates nothing.
 	free     []*delivery
 	recycled uint64
+
+	// Batching state: chainTo is the most recently scheduled delivery record,
+	// still eligible to absorb further same-(time, dst) sends as long as no
+	// other event has been scheduled since (chainSeq matches the queue's
+	// LastSeq) and the arrival time matches. Consecutive sequences at one time
+	// are adjacent in the execution order, so draining the chain from a single
+	// heap entry delivers every message at exactly the position its own event
+	// would have had — batching is invisible to simulated results.
+	chainTo     *delivery
+	chainArrive event.Time
+	chainDst    int
+	chainSeq    uint64
+	batched     uint64
 }
 
 // delivery is a pooled in-flight message record: the typed event argument
-// that replaces a per-send closure.
+// that replaces a per-send closure. A record carries one message plus any
+// batch of later messages chained onto the same (time, dst) heap entry.
 type delivery struct {
-	net *Network
-	msg Message
+	net  *Network
+	msg  Message
+	more []Message // chained same-(time, dst) messages, in send order
 }
 
 // deliver is the static delivery action shared by every in-flight message.
+// It drains the record's whole chain — head message first, then the batch in
+// send order — before recycling the record, amortizing one heap pop and one
+// event dispatch across the batch.
 //
 //dsi:hotpath
 func deliver(arg any) {
 	d := arg.(*delivery)
 	n := d.net
-	m := d.msg
+	now := n.q.Now()
 	n.inflight--
-	// Recycle before the handler runs: the handler may Send and reuse the
-	// record immediately; m is already a copy.
-	d.msg = Message{}
-	n.free = append(n.free, d)
 	if n.obs != nil {
-		n.obs.MsgDelivered(n.q.Now(), m)
+		n.obs.MsgDelivered(now, d.msg)
 	}
-	n.handlers[m.Dst](m)
+	n.handlers[d.msg.Dst](d.msg)
+	// Handlers may Send; a stale chain head can never be rechained (any new
+	// arrival time is strictly greater than now), so d is safe to walk here.
+	for i := 0; i < len(d.more); i++ {
+		m := d.more[i]
+		n.inflight--
+		if n.obs != nil {
+			n.obs.MsgDelivered(now, m)
+		}
+		n.handlers[m.Dst](m)
+	}
+	d.msg = Message{}
+	clear(d.more)
+	d.more = d.more[:0]
+	n.free = append(n.free, d)
 }
 
 // getDelivery pops a pooled record or allocates the pool's next one. The
@@ -352,6 +389,9 @@ func (n *Network) Reset(cfg Config) {
 	n.inflight = 0
 	n.obs = nil
 	n.recycled = 0
+	n.chainTo = nil
+	n.chainArrive, n.chainDst, n.chainSeq = 0, 0, 0
+	n.batched = 0
 	n.faults = cfg.Faults
 	if cfg.Faults != nil {
 		if n.pairLast == nil {
@@ -364,6 +404,37 @@ func (n *Network) Reset(cfg Config) {
 
 // SetHandler registers the delivery callback for node's incoming messages.
 func (n *Network) SetHandler(node int, h Handler) { n.handlers[node] = h }
+
+// SetPort restricts this instance to serving one node of a partitioned
+// machine: only owner's traffic originates here, deliveries to owner are
+// scheduled locally, and every send addressed to another node is passed to
+// remote with its computed arrival time. The coordinator later hands such
+// messages to the destination node's port via Inject. Source-side physics
+// stays entirely local to this port — NI occupancy, traffic counts, fault
+// decisions, and per-pair FIFO clamping all run here, so per-(src, dst)
+// delivery order is decided before a message ever crosses partitions.
+func (n *Network) SetPort(owner int, remote func(m Message, arrive event.Time)) {
+	if owner < 0 || owner >= len(n.nis) {
+		panic("netsim: SetPort owner out of range")
+	}
+	n.owner, n.remote = owner, remote
+}
+
+// Inject schedules local delivery of a message that originated on another
+// partition's port. arrive was computed at the source port and must not be
+// in this port's past — the parallel engine's conservative window (no
+// cross-partition arrival can land inside the window it was sent in)
+// guarantees that, and Inject enforces it. Messages injected back to back
+// share the chain-batching fast path like local sends do.
+//
+//dsi:hotpath
+func (n *Network) Inject(m Message, arrive event.Time) {
+	now := n.q.Now()
+	if arrive < now {
+		panic(fmt.Sprintf("netsim: Inject of %v at t=%d into a partition already at t=%d", m, int64(arrive), int64(now)))
+	}
+	n.sched(m, now, arrive)
+}
 
 // SetObserver installs (or, with nil, removes) the traffic observer.
 func (n *Network) SetObserver(o Observer) { n.obs = o }
@@ -400,8 +471,7 @@ func (n *Network) Send(m Message) event.Time {
 	if m.Src < 0 || m.Src >= len(n.nis) || m.Dst < 0 || m.Dst >= len(n.nis) {
 		panic(fmt.Sprintf("netsim: bad endpoints in %v", m))
 	}
-	h := n.handlers[m.Dst]
-	if h == nil {
+	if n.handlers[m.Dst] == nil && (n.remote == nil || m.Dst == n.owner) {
 		panic(fmt.Sprintf("netsim: no handler at node %d for %v", m.Dst, m))
 	}
 	now := n.q.Now()
@@ -420,18 +490,36 @@ func (n *Network) Send(m Message) event.Time {
 	return n.faultySend(m, now, arrive)
 }
 
-// sched schedules delivery of m at arrive and notifies the observer.
+// sched schedules delivery of m at arrive and notifies the observer. When m
+// is provably adjacent to the previously scheduled delivery — same arrival
+// time, same destination, and no event scheduled in between — it is chained
+// onto that record instead of costing its own heap entry; see delivery.
 //
 //dsi:hotpath
 func (n *Network) sched(m Message, now, arrive event.Time) {
+	if n.remote != nil && m.Dst != n.owner {
+		n.remote(m, arrive)
+		return
+	}
 	n.inflight++
 	if n.obs != nil {
 		n.obs.MsgSent(now, m, arrive)
 	}
+	if n.chainTo != nil && n.chainArrive == arrive && n.chainDst == m.Dst &&
+		n.chainSeq == n.q.LastSeq() {
+		n.chainTo.more = append(n.chainTo.more, m)
+		n.batched++
+		return
+	}
 	d := n.getDelivery()
 	d.msg = m
 	n.q.AtCall(arrive, deliver, d)
+	n.chainTo, n.chainArrive, n.chainDst, n.chainSeq = d, arrive, m.Dst, n.q.LastSeq()
 }
+
+// Batched returns the number of deliveries that rode an existing heap entry
+// instead of scheduling their own (see sched), for kernel observability.
+func (n *Network) Batched() uint64 { return n.batched }
 
 // faultySend consults the fault plan for a non-local message and executes
 // the decision. Every surviving delivery (including duplicate copies) passes

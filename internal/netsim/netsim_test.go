@@ -207,3 +207,96 @@ func TestPairwiseFIFOProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBatchedLocalBurst pins the delivery-chaining fast path: back-to-back
+// local sends to one destination within a single event share an arrival time
+// and consecutive sequences, so they coalesce onto one heap entry — and
+// still deliver in send order at the right time.
+func TestBatchedLocalBurst(t *testing.T) {
+	q, n, got := newNet(t, 2, 100)
+	q.At(0, func() {
+		for i := 0; i < 5; i++ {
+			n.Send(Message{Kind: SInvNotify, Src: 0, Dst: 0, Ver: uint8(i)})
+		}
+	})
+	q.Run()
+	if len(*got) != 5 {
+		t.Fatalf("delivered %d of 5", len(*got))
+	}
+	for i, m := range *got {
+		if int(m.Ver) != i {
+			t.Fatalf("delivery %d carries Ver %d (order broken)", i, m.Ver)
+		}
+	}
+	if n.Batched() != 4 {
+		t.Fatalf("Batched = %d, want 4 (one heap entry, four chained)", n.Batched())
+	}
+	if n.InFlight() != 0 {
+		t.Fatalf("inflight = %d after drain", n.InFlight())
+	}
+}
+
+// TestBatchingRequiresAdjacency: a foreign event scheduled between two
+// same-(time, dst) sends makes them non-adjacent in execution order, so the
+// second must NOT chain onto the first — global order would change.
+func TestBatchingRequiresAdjacency(t *testing.T) {
+	q, n, _ := newNet(t, 2, 100)
+	var order []string
+	n.SetHandler(0, func(m Message) { order = append(order, "msg") })
+	q.At(0, func() {
+		n.Send(Message{Kind: SInvNotify, Src: 0, Dst: 0})
+		q.At(1, func() { order = append(order, "between") })
+		n.Send(Message{Kind: SInvNotify, Src: 0, Dst: 0})
+	})
+	q.Run()
+	if n.Batched() != 0 {
+		t.Fatalf("Batched = %d, want 0 (an event was scheduled in between)", n.Batched())
+	}
+	want := []string{"msg", "between", "msg"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestBatchingDifferentDestinationsNotChained: same arrival time, different
+// destination must keep separate heap entries.
+func TestBatchingDifferentDestinationsNotChained(t *testing.T) {
+	q, n, got := newNet(t, 3, 100)
+	q.At(0, func() {
+		n.Send(Message{Kind: SInvNotify, Src: 0, Dst: 0})
+		n.Send(Message{Kind: SInvNotify, Src: 1, Dst: 1})
+	})
+	q.Run()
+	if n.Batched() != 0 {
+		t.Fatalf("Batched = %d, want 0 (destinations differ)", n.Batched())
+	}
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d of 2", len(*got))
+	}
+}
+
+// BenchmarkBatchDelivery measures the burst-delivery path the chaining
+// optimization targets: each iteration schedules a burst of local
+// notifications (the self-invalidation pattern at synchronization points)
+// and drains them. The batch rides one heap entry instead of eight.
+func BenchmarkBatchDelivery(b *testing.B) {
+	q := &event.Queue{}
+	n := New(q, Config{Nodes: 1, Latency: 100})
+	sink := 0
+	n.SetHandler(0, func(m Message) { sink++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.At(q.Now(), func() {
+			for j := 0; j < 8; j++ {
+				n.Send(Message{Kind: SInvNotify, Src: 0, Dst: 0})
+			}
+		})
+		q.Run()
+	}
+	if sink != 8*b.N {
+		b.Fatalf("delivered %d, want %d", sink, 8*b.N)
+	}
+}

@@ -21,11 +21,24 @@ func TestNilSinkAllocsUnchanged(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var baseline struct {
-		AllocsPerOp int64 `json:"allocs_per_op"`
+	// The baseline is an array, one element per tracked cell; this gate
+	// measures the em3d/V cell.
+	var cells []struct {
+		Workload    string `json:"workload"`
+		Protocol    string `json:"protocol"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
 	}
-	if err := json.Unmarshal(data, &baseline); err != nil {
+	if err := json.Unmarshal(data, &cells); err != nil {
 		t.Fatal(err)
+	}
+	var baseline struct{ AllocsPerOp int64 }
+	for _, c := range cells {
+		if c.Workload == "em3d" && c.Protocol == string(V) {
+			baseline.AllocsPerOp = c.AllocsPerOp
+		}
+	}
+	if baseline.AllocsPerOp == 0 {
+		t.Fatal("BENCH_kernel.json has no em3d/V cell")
 	}
 
 	cfg := Config{Workload: "em3d", Scale: ScaleTest, Protocol: V, Processors: 8}
