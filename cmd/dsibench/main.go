@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	dsibench [-experiment all|tab1|fig3|fig4|fig5|tab2|tab3|sweep] [-procs N] [-test]
+//	dsibench [-experiment all|tab1|fig3|fig4|fig5|tab2|tab3|sweep|traffic] [-procs N] [-test]
 //	         [-shard i/n]
 //	         [-cpuprofile f] [-memprofile f] [-trace f]
 //	         [-benchjson f] [-benchcells list] [-benchbaseline f] [-benchmaxregress frac]
 //	         [-blockstats workload] [-protocol label] [-cachebytes n]
 //	         [-faults spec]
+//	         [-fuzz N] [-fuzzseed S] [-fuzzout dir]
 //
 // Output is plain text, one table per artifact, with execution times
 // normalized exactly as the paper reports them. Expect the full suite at
@@ -53,6 +54,16 @@
 //
 //	go run ./cmd/dsibench -blockstats ocean -protocol W+DSI -test
 //	go run ./cmd/dsibench -blockstats em3d -protocol V -cachebytes 32768
+//
+// -fuzz N runs the seeded random-litmus fuzzer instead of experiments: N
+// generated programs, each executed under every protocol (SC, W, S, V,
+// W+DSI) × fault-plan (none, lossy, jitter) combination with the coherence
+// audit plus an outcome cross-check against a sequential reference model.
+// Failing cells are minimized by greedy op-deletion and persisted as
+// replayable JSON specs under -fuzzout; the exit status is nonzero if any
+// cell failed. The acceptance gate of ISSUE 7 is:
+//
+//	go run ./cmd/dsibench -fuzz 200 -fuzzseed 1
 package main
 
 import (
@@ -73,7 +84,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "artifact to regenerate: all, or one of tab1 fig3 fig4 fig5 tab2 tab3 sweep")
+	exp := flag.String("experiment", "all", "artifact to regenerate: all, or one of tab1 fig3 fig4 fig5 tab2 tab3 sweep traffic")
 	procs := flag.Int("procs", 32, "simulated processors")
 	testScale := flag.Bool("test", false, "use tiny test-scale inputs (fast smoke run)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -89,6 +100,9 @@ func main() {
 	cacheBytes := flag.Int("cachebytes", 0, "cache size for -blockstats (0 = default 256 KiB)")
 	faultSpec := flag.String("faults", "", "fault-injection spec for -benchjson/-blockstats runs, e.g. drop=0.01,seed=7 (see docs/FAULTS.md)")
 	shard := flag.String("shard", "", "run only the i-th of n artifact slices, as i/n (1-based), e.g. 2/3")
+	fuzzN := flag.Int("fuzz", 0, "run N random litmus programs through every protocol x fault-plan combination instead of experiments")
+	fuzzSeed := flag.Uint64("fuzzseed", 1, "campaign seed for -fuzz")
+	fuzzOut := flag.String("fuzzout", "fuzz-failures", "directory for minimized replayable specs of -fuzz failures")
 	flag.Parse()
 
 	var faults *dsisim.FaultConfig
@@ -136,6 +150,13 @@ func main() {
 			fatal(err)
 		}
 	}()
+
+	if *fuzzN > 0 {
+		if err := runFuzz(*fuzzN, *fuzzSeed, *fuzzOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *benchjson != "" {
 		cells, err := parseBenchCells(*benchCells)
@@ -198,6 +219,31 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dsibench:", err)
 	os.Exit(1)
+}
+
+// runFuzz drives the seeded litmus fuzzer (internal/workload/fuzz.go):
+// n random programs, each run under every protocol x fault-plan cell.
+// Failures are minimized, persisted under outDir, and fail the process.
+func runFuzz(n int, seed uint64, outDir string) error {
+	rep, err := workload.Fuzz(n, seed, workload.FuzzOptions{
+		OutDir: outDir,
+		Log: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fuzz: %d programs, %d protocol x fault cells, %d failures\n",
+		rep.Programs, rep.Runs, len(rep.Failures))
+	if len(rep.Failures) == 0 {
+		return nil
+	}
+	for _, f := range rep.Failures {
+		fmt.Printf("fuzz FAIL %s/%s seed %016x (%d ops minimized): %s\n    replay: go run ./cmd/dsisim -replay %s\n",
+			f.Protocol, f.Plan, f.Seed, f.MinOps, f.Err, f.Path)
+	}
+	return fmt.Errorf("%d failing litmus cells (specs in %s)", len(rep.Failures), outDir)
 }
 
 // shardSlice returns the i-th of n round-robin slices of names, parsing

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	dsisim -workload em3d -protocol V [-procs 32] [-cache 262144] [-latency 100] [-test]
+//	dsisim -replay spec.json
+//
+// -replay loads a litmus spec persisted by the fuzzer (`dsibench -fuzz`,
+// internal/workload/fuzz.go) and re-runs it under every protocol ×
+// fault-plan combination, reporting each cell's verdict; the exit status is
+// nonzero if any cell fails.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"dsisim"
 	"dsisim/internal/netsim"
 	"dsisim/internal/stats"
+	"dsisim/internal/workload"
 )
 
 func main() {
@@ -27,7 +34,16 @@ func main() {
 	latency := flag.Int64("latency", 100, "network latency in cycles")
 	testScale := flag.Bool("test", false, "use tiny test-scale inputs")
 	faults := flag.String("faults", "", "fault-injection spec, e.g. drop=0.01,dup=0.005,seed=7 (see docs/FAULTS.md)")
+	replay := flag.String("replay", "", "replay a persisted litmus spec (from dsibench -fuzz) under every protocol x fault plan")
 	flag.Parse()
+
+	if *replay != "" {
+		if err := runReplay(*replay); err != nil {
+			fmt.Fprintln(os.Stderr, "dsisim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := dsisim.Config{
 		Workload:       *wl,
@@ -113,4 +129,40 @@ func main() {
 			f.Dropped, f.Duplicated, f.Delayed, f.Converted, f.Scripted, f.Decisions)
 		fmt.Printf("recovery: %d timeouts, %d retransmissions, %d NACKs\n", timeouts, retries, nacks)
 	}
+}
+
+// runReplay re-runs a persisted litmus spec under the fuzzer's full
+// protocol × fault-plan matrix.
+func runReplay(path string) error {
+	spec, err := workload.LoadLitmus(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("litmus spec %s: seed %016x, %d procs, %d blocks, %d rounds, %d ops\n",
+		path, spec.Seed, spec.Procs, spec.Blocks, spec.Rounds, len(spec.Ops))
+	for _, op := range spec.Ops {
+		fmt.Printf("  p%d r%d %-7s", op.Proc, op.Round, op.Kind)
+		if op.Kind == workload.LitmusLockInc {
+			fmt.Println()
+		} else if op.Kind == workload.LitmusWrite {
+			fmt.Printf(" block %d <- %d\n", op.Block, op.Value)
+		} else {
+			fmt.Printf(" block %d\n", op.Block)
+		}
+	}
+	failures := 0
+	for _, pr := range workload.FuzzProtocols() {
+		for _, plan := range workload.FuzzFaultPlans() {
+			if err := workload.RunLitmus(spec, pr, plan); err != nil {
+				failures++
+				fmt.Printf("FAIL %-6s %-7s %v\n", pr.Name, plan.Name, err)
+			} else {
+				fmt.Printf("ok   %-6s %-7s\n", pr.Name, plan.Name)
+			}
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d failing cells", failures)
+	}
+	return nil
 }

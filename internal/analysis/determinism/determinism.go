@@ -42,8 +42,9 @@ var timeBanned = map[string]bool{
 
 // DefaultSimPackages lists the packages whose results feed deterministic
 // simulation state: the event kernel, the protocol engines, the network, the
-// fault-injection plan, the machine assembly, the DSI policies, and the
-// hardware structures.
+// fault-injection plan, the machine assembly, the DSI policies, the hardware
+// structures, and the workload generators (whose construction and litmus
+// fuzzing must be bit-identical across runs given a seed).
 var DefaultSimPackages = []string{
 	"dsisim/internal/event",
 	"dsisim/internal/proto",
@@ -54,6 +55,7 @@ var DefaultSimPackages = []string{
 	"dsisim/internal/directory",
 	"dsisim/internal/cache",
 	"dsisim/internal/blockmap",
+	"dsisim/internal/workload",
 }
 
 // New returns the analyzer; simPkg reports whether a package (by import

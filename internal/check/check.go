@@ -7,12 +7,36 @@ package check
 
 import (
 	"fmt"
+	"strings"
 
 	"dsisim/internal/cache"
 	"dsisim/internal/directory"
 	"dsisim/internal/mem"
 	"dsisim/internal/proto"
 )
+
+// CrossCheckOutcomes compares a program's observed final memory outcomes
+// against a reference model's expected outcomes, slot by slot. It is the
+// litmus-fuzzer's second oracle (internal/workload/fuzz.go): Audit proves
+// the coherence metadata is consistent, CrossCheckOutcomes proves the
+// values a sequentially-consistent reference interleaving predicts actually
+// landed in memory. label names the slot space in diagnostics (e.g.
+// "block"). The returned error lists every mismatching slot.
+func CrossCheckOutcomes(label string, got, want []uint64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("outcome cross-check: %d observed %ss, reference has %d", len(got), label, len(want))
+	}
+	var errs []string
+	for i := range got {
+		if got[i] != want[i] {
+			errs = append(errs, fmt.Sprintf("%s %d: got %d, reference says %d", label, i, got[i], want[i]))
+		}
+	}
+	if errs != nil {
+		return fmt.Errorf("outcome cross-check: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
 
 // Audit verifies the machine-wide invariants over a quiesced system and
 // returns every violation found. On a system that failed to quiesce it

@@ -142,3 +142,19 @@ func TestAuditIgnoresTearOffStaleness(t *testing.T) {
 		t.Fatalf("legal tear-off staleness flagged: %v", errs)
 	}
 }
+
+func TestCrossCheckOutcomes(t *testing.T) {
+	if err := CrossCheckOutcomes("block", []uint64{1, 2, 3}, []uint64{1, 2, 3}); err != nil {
+		t.Fatalf("matching outcomes flagged: %v", err)
+	}
+	err := CrossCheckOutcomes("block", []uint64{1, 9, 3}, []uint64{1, 2, 3})
+	if err == nil {
+		t.Fatal("mismatch not flagged")
+	}
+	if !strings.Contains(err.Error(), "block 1") {
+		t.Fatalf("mismatch error does not name the slot: %v", err)
+	}
+	if err := CrossCheckOutcomes("block", []uint64{1}, []uint64{1, 2}); err == nil {
+		t.Fatal("length mismatch not flagged")
+	}
+}

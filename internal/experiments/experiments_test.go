@@ -32,6 +32,15 @@ func TestAllArtifactsRender(t *testing.T) {
 				}
 				return
 			}
+			if name == ArtifactTraffic {
+				// The traffic extension covers the traffic-shaped generators.
+				for _, w := range workload.TrafficNames() {
+					if !strings.Contains(out, w) {
+						t.Fatalf("traffic report missing %s:\n%s", w, out)
+					}
+				}
+				return
+			}
 			for _, w := range workload.PaperNames() {
 				if !strings.Contains(out, w) {
 					t.Fatalf("report for %s missing %s:\n%s", name, w, out)

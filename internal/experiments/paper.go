@@ -24,11 +24,14 @@ const (
 	// ArtifactSweeps is an extension beyond the paper: latency / cache /
 	// machine-size sensitivity of the DSI benefit.
 	ArtifactSweeps = "sweep"
+	// ArtifactTraffic is an extension beyond the paper: the traffic-shaped
+	// generators' grid, recovery counters, and hot-writer skew sweep.
+	ArtifactTraffic = "traffic"
 )
 
 // Artifacts lists every reproducible table/figure.
 func Artifacts() []string {
-	return []string{ArtifactTable1, ArtifactFig3, ArtifactFig4, ArtifactFig5, ArtifactTable2, ArtifactTable3, ArtifactSweeps}
+	return []string{ArtifactTable1, ArtifactFig3, ArtifactFig4, ArtifactFig5, ArtifactTable2, ArtifactTable3, ArtifactSweeps, ArtifactTraffic}
 }
 
 // Run executes one artifact by name and returns its rendered report.
@@ -48,6 +51,8 @@ func Run(name string, o Options) (string, error) {
 		return Table3(o)
 	case ArtifactSweeps:
 		return Sweeps(o)
+	case ArtifactTraffic:
+		return Traffic(o)
 	default:
 		return "", fmt.Errorf("experiments: unknown artifact %q (have %v)", name, Artifacts())
 	}

@@ -151,6 +151,14 @@ type Message struct {
 	// Request annotations.
 	Ver    uint8 // version number echoed by the cache (version-number DSI)
 	HasVer bool  // the cache had a matching tag and supplied Ver
+	// Probe marks a message about an already-consumed (or refused)
+	// transaction, which the directory must never treat as a fresh request
+	// or a fresh writeback (see proto/robust.go). On a re-sent GetX it is a
+	// lost-FinalAck probe: if the transaction is no longer replayable from
+	// directory state, the only thing the prober can still be missing is
+	// the FinalAck. On a WB it is an ownership give-back whose payload is
+	// stale by construction and must never overwrite home memory.
+	Probe bool
 
 	// Reply annotations.
 	SI      bool       // block is marked for self-invalidation

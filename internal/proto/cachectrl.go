@@ -135,6 +135,10 @@ type CacheStats struct {
 	NacksRecv     int64 // directory Nacks received (overload backoff)
 	NackHomesSent int64 // re-sent Inv/Recall answered "no copy here"
 	StraysIgnored int64 // duplicate/stale messages tolerated instead of failed
+	// GrantsReturned counts unsolicited grants handed straight back: the
+	// directory served a stale duplicated request as fresh and recorded a
+	// copy here that this cache never asked for (see giveBackGrant).
+	GrantsReturned int64
 }
 
 // CacheCtrl is the cache controller of one node: it services the
@@ -760,7 +764,18 @@ func (cc *CacheCtrl) onDataS(m netsim.Message) {
 			// Hardened: a duplicated or replayed grant whose miss already
 			// completed (the transaction id no longer matches any live
 			// miss). Per-pair FIFO guarantees a fresh miss's real grant
-			// cannot be overtaken by a stale one, so dropping is safe.
+			// cannot be overtaken by a stale one, so dropping is safe —
+			// unless the grant came from a stale duplicated request served
+			// as fresh: with no live state and no copy here, the directory
+			// just recorded this node as a sharer, so return the phantom
+			// copy with a replacement notice to keep the sharer set honest.
+			if ms == nil && blk.wb == nil && !m.TearOff {
+				if _, held := cc.c.Peek(b); !held {
+					cc.stats.GrantsReturned++
+					cc.send(netsim.Message{Kind: netsim.Repl, Dst: cc.home(b), Addr: b})
+					return
+				}
+			}
 			cc.stats.StraysIgnored++
 			return
 		}
@@ -838,6 +853,14 @@ func (cc *CacheCtrl) onAckX(m netsim.Message) {
 	if ms == nil || ms.kind == opRead || ms.waitingFinal ||
 		(cc.cfg.Retry != nil && ms.txn != m.Txn) {
 		if cc.cfg.Retry != nil {
+			// An upgrade grant from a stale duplicated request served as
+			// fresh is refused like a DataX: the AckX carries the block's
+			// committed contents as bookkeeping, so the give-back writeback
+			// has the data it needs (see giveBackGrant).
+			if ms == nil && blk.wb == nil {
+				cc.giveBackGrant(b, m)
+				return
+			}
 			cc.stats.StraysIgnored++
 			return
 		}

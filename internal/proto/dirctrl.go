@@ -82,7 +82,7 @@ type DirStats struct {
 	Timeouts    int64 // retry timers that fired for a live transaction
 	RetriesSent int64 // Inv/Recall messages re-sent to unacknowledged nodes
 	NacksSent   int64 // requests refused because the block's queue was full
-	Replays     int64 // grants re-sent from directory state for lost replies
+	Replays     int64 // grants and FinalAcks re-sent from directory state for lost replies
 	DupRequests int64 // retransmitted requests deduplicated and dropped
 	StrayAcks   int64 // duplicate/stale acknowledgments tolerated
 }
@@ -376,6 +376,19 @@ func (dc *DirCtrl) process(m netsim.Message) {
 		return
 	}
 	if dc.cfg.Retry != nil && dc.replayed(b, m) {
+		return
+	}
+	if dc.cfg.Retry != nil && m.Probe {
+		// A FinalAck probe for a transaction this directory completed and
+		// whose state it has since moved past (replayed above handles the
+		// still-recorded case). The prober consumed its grant long ago, so
+		// the only thing it can still be missing is the FinalAck: re-send
+		// that and leave the directory state alone. Serving the probe as a
+		// fresh request would recall the real owner and record an exclusive
+		// grant the prober ignores as a stray, leaving the directory and
+		// caches disagreeing at quiesce.
+		dc.stats.Replays++
+		dc.send(netsim.Message{Kind: netsim.FinalAck, Dst: m.Src, Addr: b, Txn: m.Txn})
 		return
 	}
 	dc.stats.Requests++
@@ -772,18 +785,42 @@ func (dc *DirCtrl) onAck(m netsim.Message, hasData, downgraded bool) {
 // unsolicited, either by replacement or by self-invalidation.
 func (dc *DirCtrl) onWriteback(m netsim.Message, cause core.IdleCause) {
 	b := mem.BlockOf(m.Addr)
-	dc.memory.Write(b, m.Data)
 	db := dc.block(b)
 	e := dc.entry(db, b)
+	if dc.cfg.Retry != nil && m.Probe {
+		// Hardened: an ownership give-back (giveBackGrant) — the sender
+		// refused an unsolicited grant it never wrote under. Its payload is
+		// stale by construction (the refused grant may be a fault-plan
+		// duplicate of one consumed, dirtied, and written back long ago), so
+		// it must never overwrite memory: a stale lock word resurrected here
+		// is a mutual-exclusion violation or a livelocked spinner. If the
+		// give-back's phantom ownership is still recorded, clear it; if a
+		// transaction is busy recalling it, the sender's NackHome answer
+		// (FIFO behind this give-back) completes that transaction against
+		// home memory, which is already correct.
+		dc.stats.StrayAcks++
+		if db.t == nil && e.State == directory.Exclusive && e.Owner == m.Src {
+			e.LastOwner = m.Src
+			e.Owner = -1
+			prev := e.State
+			dc.cfg.Policy.ID().SetIdle(e, cause, directory.Exclusive, m.SI)
+			if sk := dc.env.Sink; sk != nil && e.State != prev {
+				sk.OnDirState(dc.env.Q.Now(), dc.node, b, m.Txn, prev, e.State)
+			}
+		}
+		return
+	}
 	if t := db.t; t != nil {
 		switch m.Src {
 		case t.ownerWas:
 			// The owner's writeback raced our Recall/Inv; the data is
 			// captured here and the unconditional ack will complete the
 			// transaction.
+			dc.memory.Write(b, m.Data)
 		case t.req.Src:
 			// WC: the requester already received the grant and has given
 			// the block up again before the FinalAck.
+			dc.memory.Write(b, m.Data)
 			t.requesterDropped = true
 		default:
 			dc.env.fail("dir %d: writeback from bystander %d during txn for %#x", dc.node, m.Src, uint64(b))
@@ -791,10 +828,20 @@ func (dc *DirCtrl) onWriteback(m netsim.Message, cause core.IdleCause) {
 		return
 	}
 	if e.State != directory.Exclusive || e.Owner != m.Src {
+		if dc.cfg.Retry != nil {
+			// Hardened: a writeback whose ownership record was already
+			// cleared by a racing recovery action. A genuine dirty writeback
+			// always finds its sender recorded as owner (or a live
+			// transaction above), so the data here duplicates what memory
+			// already holds and must not overwrite it.
+			dc.stats.StrayAcks++
+			return
+		}
 		dc.env.fail("dir %d: writeback from %d but state %v owner %d for %#x",
 			dc.node, m.Src, e.State, e.Owner, uint64(b))
 		return
 	}
+	dc.memory.Write(b, m.Data)
 	e.LastOwner = m.Src
 	e.Owner = -1
 	prev := e.State

@@ -183,15 +183,17 @@ func (cc *CacheCtrl) onFinalTimeout(b mem.Addr, e *wbEntry) {
 	cc.armFinalTimer(b, e)
 }
 
-// sendProbe retransmits a bare GetX carrying the original transaction id,
-// used to recover a lost grant or FinalAck: the directory either
-// deduplicates it (transaction still busy) or replays the grant from its
-// recorded state.
+// sendProbe retransmits a GetX carrying the original transaction id, used
+// to recover a lost grant or FinalAck. It is marked Probe because the
+// grant was already consumed here: the directory either deduplicates it
+// (transaction still busy), replays the grant from its recorded state, or —
+// when the block's state has since moved past this transaction — re-sends
+// the FinalAck instead of serving the probe as a fresh request.
 func (cc *CacheCtrl) sendProbe(b mem.Addr, txnID uint64) {
 	ver, hasVer := cc.c.EchoVersion(b)
 	_, done := cc.server.Admit(cc.env.Q.Now(), CacheOccupancy)
 	sc := cc.newSendCall()
-	sc.msg = netsim.Message{Kind: netsim.GetX, Dst: cc.home(b), Addr: b, Ver: ver, HasVer: hasVer, Txn: txnID}
+	sc.msg = netsim.Message{Kind: netsim.GetX, Dst: cc.home(b), Addr: b, Ver: ver, HasVer: hasVer, Txn: txnID, Probe: true}
 	cc.env.Q.AtCall(done, doSendCall, sc)
 }
 
@@ -235,8 +237,16 @@ func (cc *CacheCtrl) onNack(m netsim.Message) {
 // cache no longer holds the block (it was dropped mid-transaction and the
 // directory re-granted ownership), the replay is installed so directory and
 // cache agree at quiesce; if the copy is live it is newer than home memory
-// and must not be clobbered. Anything else is a duplicate whose effect
-// already happened.
+// and must not be clobbered.
+//
+// With no matching write-buffer entry either, the grant came from a stale
+// request — a fault-plan duplicate of a request this cache has long since
+// been served for, processed by the directory as fresh after the block's
+// ownership moved on. The directory now records this node as exclusive
+// owner, so silently ignoring the grant would leave the two disagreeing at
+// quiesce: instead the ownership is handed straight back with a writeback
+// (giveBackGrant). A duplicate of a grant whose copy is still live here is
+// the one genuinely ignorable case — directory and cache already agree.
 func (cc *CacheCtrl) recoverGrantReplay(b mem.Addr, m netsim.Message) {
 	if e := cc.block(b).wb; e != nil && e.pendingFinal && e.txn == m.Txn && !m.Pending {
 		if _, held := cc.c.Peek(b); !held {
@@ -245,7 +255,46 @@ func (cc *CacheCtrl) recoverGrantReplay(b mem.Addr, m netsim.Message) {
 		cc.retire(e)
 		return
 	}
+	if cc.block(b).wb == nil {
+		cc.giveBackGrant(b, m)
+		return
+	}
 	cc.stats.StraysIgnored++
+}
+
+// giveBackGrant refuses an unsolicited exclusive grant. The directory may
+// have just recorded this node as owner, so the refusal must reach it
+// reliably — a writeback, which fault plans never drop, returns the
+// ownership and restores agreement:
+//
+//   - exclusive copy held: the grant is a duplicate of one already
+//     consumed; directory and cache agree, drop the message.
+//   - shared copy held: the directory promoted this node to owner over its
+//     downgraded copy; invalidate the copy and hand the ownership back.
+//   - nothing held: hand the grant straight back.
+//
+// The give-back carries the Probe mark: its data is whatever stale payload
+// the grant carried (or a clean shared copy), never a dirty line, and the
+// grant itself may be a duplicate of one consumed and long since written
+// back — so the directory must treat it purely as an ownership return and
+// never let it overwrite memory (see onWriteback). This node wrote nothing
+// under the refused grant; home memory already holds the right contents.
+func (cc *CacheCtrl) giveBackGrant(b mem.Addr, m netsim.Message) {
+	if f, held := cc.c.Peek(b); held {
+		if f.State == cache.Exclusive {
+			cc.stats.StraysIgnored++
+			return
+		}
+		ev, _ := cc.c.Invalidate(b)
+		if cc.hist != nil {
+			cc.hist.OnInvalidate(b)
+		}
+		if sk := cc.env.Sink; sk != nil {
+			sk.OnCacheState(cc.env.Q.Now(), cc.node, b, m.Txn, ev.State, cache.Invalid, 0)
+		}
+	}
+	cc.stats.GrantsReturned++
+	cc.send(netsim.Message{Kind: netsim.WB, Dst: cc.home(b), Addr: b, Txn: m.Txn, Probe: true})
 }
 
 // OutstandingMiss describes one stuck cache-side operation, for the

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// Known-seed regression: a bounded campaign over the full protocol ×
+// fault-plan matrix must come back clean on the current tree (the ISSUE 7
+// acceptance gate, shrunk to unit-test size; dsibench -fuzz 200 runs the
+// full-size version).
+func TestFuzzKnownSeedClean(t *testing.T) {
+	rep, err := Fuzz(12, 1, FuzzOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Programs != 12 {
+		t.Fatalf("ran %d programs, want 12", rep.Programs)
+	}
+	if want := 12 * len(FuzzProtocols()) * len(FuzzFaultPlans()); rep.Runs != want {
+		t.Fatalf("ran %d cells, want %d", rep.Runs, want)
+	}
+	if len(rep.Failures) != 0 {
+		t.Fatalf("clean tree produced fuzz failures: %+v", rep.Failures)
+	}
+}
+
+// Generation is a pure function of the seed.
+func TestGenLitmusDeterministic(t *testing.T) {
+	a, b := GenLitmus(42), GenLitmus(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different specs:\n%+v\n%+v", a, b)
+	}
+	if c := GenLitmus(43); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical specs")
+	}
+	if a.Procs < 2 || a.Procs > 4 || a.Blocks < 2 || a.Blocks > 5 || a.Rounds < 1 || a.Rounds > 3 {
+		t.Fatalf("spec out of documented bounds: %+v", a)
+	}
+}
+
+// At most one write per (round, block), and write values are unique: the
+// invariants the reference model's outcome prediction depends on.
+func TestGenLitmusWriteInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		s := GenLitmus(seed)
+		writers := make(map[[2]int]bool)
+		values := make(map[uint64]bool)
+		for _, op := range s.Ops {
+			if op.Kind != LitmusWrite {
+				continue
+			}
+			k := [2]int{op.Round, op.Block}
+			if writers[k] {
+				t.Fatalf("seed %d: two writers for round %d block %d", seed, op.Round, op.Block)
+			}
+			writers[k] = true
+			if values[op.Value] {
+				t.Fatalf("seed %d: duplicate write value %d", seed, op.Value)
+			}
+			values[op.Value] = true
+		}
+	}
+}
+
+// The broken-protocol canary: silently dropping writes to block 0 must be
+// detected by the assert/cross-check oracles, minimized to a small spec,
+// and persisted as a replayable file that still demonstrates the failure.
+func TestFuzzCanaryDetectsBrokenWrites(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := Fuzz(8, 7, FuzzOptions{
+		OutDir:      dir,
+		Protocols:   FuzzProtocols()[:1],  // SC alone is enough for the canary
+		FaultPlans:  FuzzFaultPlans()[:1], // fault-free
+		breakWrites: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatal("broken kernel produced no fuzz failures; the cross-check oracle is dead")
+	}
+	f := rep.Failures[0]
+	if f.Path == "" {
+		t.Fatal("failure not persisted")
+	}
+	min, err := LoadLitmus(f.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Ops) != f.MinOps || len(min.Ops) == 0 {
+		t.Fatalf("persisted spec has %d ops, failure reports %d", len(min.Ops), f.MinOps)
+	}
+	// Minimality: the broken cell still fails on the minimized spec, and
+	// removing any single op makes the failure disappear.
+	brokenFails := func(s *LitmusSpec) bool {
+		p := newLitmusProgram(s)
+		p.breakWrites = true
+		return runLitmus(p, FuzzProtocols()[0], FuzzFaultPlans()[0]) != nil
+	}
+	if !brokenFails(min) {
+		t.Fatal("minimized spec does not reproduce the failure")
+	}
+	for i := range min.Ops {
+		cand := *min
+		cand.Ops = append(append([]LitmusOp(nil), min.Ops[:i]...), min.Ops[i+1:]...)
+		if brokenFails(&cand) {
+			t.Fatalf("spec not 1-minimal: still fails without op %d", i)
+		}
+	}
+	// The same spec replayed through the honest kernel passes: the bug was
+	// in the canary's broken protocol, not the program.
+	if err := RunLitmus(min, FuzzProtocols()[0], FuzzFaultPlans()[0]); err != nil {
+		t.Fatalf("honest replay of minimized spec failed: %v", err)
+	}
+}
+
+// Save/Load round-trips a spec exactly.
+func TestLitmusSaveLoad(t *testing.T) {
+	s := GenLitmus(99)
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := SaveLitmus(s, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLitmus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round-trip mismatch:\n%+v\n%+v", s, got)
+	}
+}
+
+// LoadLitmus rejects malformed and out-of-range specs.
+func TestLitmusLoadRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	for _, body := range []string{
+		"{not json",
+		`{"seed":1,"procs":0,"blocks":2,"rounds":1}`,
+		`{"seed":1,"procs":2,"blocks":2,"rounds":1,"ops":[{"proc":5,"round":0,"kind":0,"block":0}]}`,
+	} {
+		if err := os.WriteFile(bad, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadLitmus(bad); err == nil {
+			t.Fatalf("accepted invalid spec %q", body)
+		}
+	}
+}
+
+// LitmusKind follows the repo's enum String() convention.
+func TestLitmusKindString(t *testing.T) {
+	cases := map[LitmusKind]string{
+		LitmusRead:    "read",
+		LitmusWrite:   "write",
+		LitmusLockInc: "lockinc",
+		LitmusKind(9): "LitmusKind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Fatalf("LitmusKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+// The minimizer never returns a passing spec and always shrinks or holds.
+func TestMinimizeLitmus(t *testing.T) {
+	s := GenLitmus(3)
+	// Failure predicate: spec contains at least one lockinc.
+	fails := func(c *LitmusSpec) bool {
+		for _, op := range c.Ops {
+			if op.Kind == LitmusLockInc {
+				return true
+			}
+		}
+		return false
+	}
+	if !fails(s) {
+		t.Skip("seed 3 generated no lockinc ops")
+	}
+	min := MinimizeLitmus(s, fails)
+	if len(min.Ops) != 1 || min.Ops[0].Kind != LitmusLockInc {
+		t.Fatalf("minimizer kept %d ops: %+v", len(min.Ops), min.Ops)
+	}
+}

@@ -16,6 +16,17 @@ const (
 	ScaleTest
 )
 
+// String returns the preset name.
+func (s Scale) String() string {
+	switch s {
+	case ScalePaper:
+		return "paper"
+	case ScaleTest:
+		return "test"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
 // builders maps workload names to constructors.
 var builders = map[string]func(Scale) Program{
 	"barnes": func(s Scale) Program {
@@ -88,11 +99,19 @@ var builders = map[string]func(Scale) Program{
 		}
 		return w
 	},
+	// Traffic-shaped generators (docs/WORKLOADS.md). The ring generator is
+	// registered as "prodring" because "prodcons" already names the
+	// single-producer microbenchmark it generalizes.
+	"zipf":       func(s Scale) Program { return NewZipf(ZipfScaled(s)) },
+	"prodring":   func(s Scale) Program { return NewProdRing(ProdRingScaled(s)) },
+	"lockconvoy": func(s Scale) Program { return NewLockConvoy(LockConvoyScaled(s)) },
+	"openloop":   func(s Scale) Program { return NewOpenLoop(OpenLoopScaled(s)) },
 }
 
 // Names returns all registered workload names, sorted.
 func Names() []string {
 	out := make([]string, 0, len(builders))
+	//dsi:anyorder — keys are sorted before returning.
 	for n := range builders {
 		out = append(out, n)
 	}
@@ -103,6 +122,12 @@ func Names() []string {
 // PaperNames returns the five Table 1 applications in the paper's order.
 func PaperNames() []string {
 	return []string{"barnes", "em3d", "ocean", "sparse", "tomcatv"}
+}
+
+// TrafficNames returns the traffic-shaped generators in the order used by
+// the experiments.TrafficGrid tables.
+func TrafficNames() []string {
+	return []string{"zipf", "prodring", "lockconvoy", "openloop"}
 }
 
 // New builds a fresh workload instance by name (a Program is single-use,

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sort"
 	"testing"
 
 	"dsisim/internal/core"
@@ -85,19 +86,36 @@ func TestUnknownWorkload(t *testing.T) {
 
 func TestRegistryNames(t *testing.T) {
 	names := Names()
-	if len(names) != 10 {
+	if len(names) != 14 {
 		t.Fatalf("registry has %d workloads: %v", len(names), names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
 	}
 	for _, n := range PaperNames() {
 		if _, err := New(n, ScaleTest); err != nil {
 			t.Fatalf("paper workload %q missing: %v", n, err)
 		}
 	}
+	for _, n := range TrafficNames() {
+		if _, err := New(n, ScaleTest); err != nil {
+			t.Fatalf("traffic workload %q missing: %v", n, err)
+		}
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	cases := map[Scale]string{ScalePaper: "paper", ScaleTest: "test", Scale(7): "Scale(7)"}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Fatalf("Scale(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
 }
 
 // Workloads must be deterministic: identical runs, identical results.
 func TestWorkloadDeterminism(t *testing.T) {
-	for _, name := range []string{"em3d", "barnes", "sparse"} {
+	for _, name := range []string{"em3d", "barnes", "sparse", "zipf", "prodring", "lockconvoy", "openloop"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			a := runOne(t, name, machine.Config{Consistency: proto.SC,
