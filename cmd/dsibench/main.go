@@ -10,6 +10,7 @@
 //	         [-blockstats workload] [-protocol label] [-cachebytes n]
 //	         [-faults spec]
 //	         [-fuzz N] [-fuzzseed S] [-fuzzout dir]
+//	         [-transition-coverage] [-transition-model f] [-transition-litmus N]
 //
 // Output is plain text, one table per artifact, with execution times
 // normalized exactly as the paper reports them. Expect the full suite at
@@ -64,6 +65,16 @@
 // cell failed. The acceptance gate of ISSUE 7 is:
 //
 //	go run ./cmd/dsibench -fuzz 200 -fuzzseed 1
+//
+// -transition-coverage runs the runtime half of the protomodel cross-check:
+// paper workloads plus fuzzer litmus programs (clean and under fault
+// injection) with the coherence-event sink attached, folding every observed
+// (controller, trigger, state) triple against the statically extracted
+// transition table (-transition-model, default docs/protomodel.json). The
+// exit status is nonzero if the running protocol ever took a transition the
+// static model calls impossible. CI runs:
+//
+//	go run ./cmd/dsibench -transition-coverage -procs 8
 package main
 
 import (
@@ -103,6 +114,9 @@ func main() {
 	fuzzN := flag.Int("fuzz", 0, "run N random litmus programs through every protocol x fault-plan combination instead of experiments")
 	fuzzSeed := flag.Uint64("fuzzseed", 1, "campaign seed for -fuzz")
 	fuzzOut := flag.String("fuzzout", "fuzz-failures", "directory for minimized replayable specs of -fuzz failures")
+	transCov := flag.Bool("transition-coverage", false, "cross-check runtime transitions against the static protocol model instead of running experiments")
+	transModel := flag.String("transition-model", "docs/protomodel.json", "static transition table for -transition-coverage")
+	transLitmus := flag.Int("transition-litmus", 8, "litmus programs per protocol x fault cell for -transition-coverage")
 	flag.Parse()
 
 	var faults *dsisim.FaultConfig
@@ -153,6 +167,13 @@ func main() {
 
 	if *fuzzN > 0 {
 		if err := runFuzz(*fuzzN, *fuzzSeed, *fuzzOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *transCov {
+		if err := runTransitionCoverage(*transModel, *procs, *transLitmus); err != nil {
 			fatal(err)
 		}
 		return

@@ -12,11 +12,19 @@
 //	             and goroutines
 //	hotpath      //dsi:hotpath functions avoid allocating constructs
 //	obssink      obs.Sink emissions are dominated by nil-sink checks
+//	protomodel   the coherence transition table is complete: every
+//	             (controller, state, trigger) pair is handled, waived with
+//	             //dsi:unreachable, or statically infeasible
+//
+// -json emits findings as one JSON object per line for tooling; -model FILE
+// writes the extracted protocol transition table (docs/protomodel.json);
+// -table prints it as a markdown table (DESIGN.md §Transition table).
 //
 // Exit status is 1 when any finding is reported, 2 on usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +35,7 @@ import (
 	"dsisim/internal/analysis/exhaustive"
 	"dsisim/internal/analysis/hotpath"
 	"dsisim/internal/analysis/obssink"
+	"dsisim/internal/analysis/protomodel"
 )
 
 func suite() []*analysis.Analyzer {
@@ -35,15 +44,19 @@ func suite() []*analysis.Analyzer {
 		determinism.Default(),
 		hotpath.Analyzer(),
 		obssink.Analyzer(),
+		protomodel.Analyzer,
 	}
 }
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as one JSON object per line")
+	modelOut := flag.String("model", "", "write the extracted protocol transition table to this file")
+	table := flag.Bool("table", false, "print the extracted transition table as markdown")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dsivet [-list] [-run names] [packages]\n\nruns the dsisim static-check suite (default pattern ./...)\n\n")
+			"usage: dsivet [-list] [-run names] [-json] [-model file] [-table] [packages]\n\nruns the dsisim static-check suite (default pattern ./...)\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -82,16 +95,81 @@ func main() {
 	}
 	findings, err := analysis.RunAnalyzers(pkgs, analyzers)
 	for _, f := range findings {
-		fmt.Println(f)
+		if *jsonOut {
+			printJSON(f)
+		} else {
+			fmt.Println(f)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsivet: %v\n", err)
 		os.Exit(2)
 	}
+	if *modelOut != "" || *table {
+		if exitCode := emitModel(ld, pkgs, *modelOut, *table); exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "dsivet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// printJSON emits one finding as a single-line JSON object, the machine
+// interface behind CI annotation tooling.
+func printJSON(f analysis.Finding) {
+	b, err := json.Marshal(struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}{f.Position.Filename, f.Position.Line, f.Position.Column, f.Analyzer, f.Message})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsivet: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Println(string(b))
+}
+
+// emitModel extracts the protocol transition table and writes/prints it.
+func emitModel(ld *analysis.Loader, pkgs []*analysis.Package, file string, table bool) int {
+	var proto *analysis.Package
+	for _, p := range pkgs {
+		if p.Path == protomodel.ProtoPackage {
+			proto = p
+			break
+		}
+	}
+	if proto == nil {
+		loaded, err := ld.Load(protomodel.ProtoPackage)
+		if err != nil || len(loaded) == 0 {
+			fmt.Fprintf(os.Stderr, "dsivet: loading %s for -model: %v\n", protomodel.ProtoPackage, err)
+			return 2
+		}
+		proto = loaded[0]
+	}
+	model, probs := protomodel.ExtractPackage(proto)
+	if model == nil {
+		fmt.Fprintf(os.Stderr, "dsivet: extraction produced no model (%d problems)\n", len(probs))
+		return 2
+	}
+	if file != "" {
+		data, err := model.Render()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsivet: rendering model: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(file, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dsivet: %v\n", err)
+			return 2
+		}
+	}
+	if table {
+		fmt.Print(protomodel.Markdown(model))
+	}
+	return 0
 }
 
 func firstLine(s string) string {

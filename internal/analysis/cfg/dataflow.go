@@ -1,0 +1,112 @@
+package cfg
+
+// Forward dataflow: a generic worklist fixpoint over per-block facts. The
+// client supplies the lattice operations; the engine supplies iteration
+// order (reverse postorder), edge-sensitive refinement (so a `sk != nil`
+// condition can strengthen the fact on its true edge), and termination
+// (client Equal must define a finite-height lattice — every analyzer here
+// uses finite sets, so this holds by construction).
+
+// Analysis defines one forward dataflow problem over a Graph. F is the
+// per-block fact type; facts are treated as immutable values (Transfer and
+// Branch must not mutate their argument in place unless they own it).
+type Analysis[F any] struct {
+	// Entry is the fact at the graph entry.
+	Entry F
+	// Transfer applies block b's Nodes to the incoming fact and returns the
+	// fact at the block's exit (before edge refinement).
+	Transfer func(b *Block, f F) F
+	// Branch refines the block-exit fact along edge e (using b.Cond/b.Stmt).
+	// Returning ok=false marks the edge as contradicted — no fact flows
+	// along it. A nil Branch passes facts through unrefined.
+	Branch func(b *Block, e Edge, f F) (F, bool)
+	// Merge joins two facts at a control-flow join.
+	Merge func(a, b F) F
+	// Equal reports whether two facts are equal (fixpoint detection).
+	Equal func(a, b F) bool
+}
+
+// Result holds the fixpoint facts of a forward dataflow run.
+type Result[F any] struct {
+	// In and Out are the block-entry and block-exit facts, indexed by block
+	// index. They are meaningful only where Reached is true.
+	In, Out []F
+	// Reached reports whether any fact flowed into the block: false for
+	// dead blocks and for blocks cut off by contradicted edges.
+	Reached []bool
+}
+
+// Forward runs the analysis to fixpoint and returns the per-block facts.
+func Forward[F any](g *Graph, a Analysis[F]) Result[F] {
+	n := len(g.Blocks)
+	res := Result[F]{In: make([]F, n), Out: make([]F, n), Reached: make([]bool, n)}
+	entry := g.Entry.Index
+	res.In[entry] = a.Entry
+	res.Reached[entry] = true
+
+	inWork := make([]bool, n)
+	work := make([]int, 0, n)
+	push := func(i int) {
+		if !inWork[i] {
+			inWork[i] = true
+			work = append(work, i)
+		}
+	}
+	push(entry)
+	for len(work) > 0 {
+		// Pop the block earliest in reverse postorder for fast convergence;
+		// the work list is small, so a linear scan is fine.
+		best := 0
+		for i := 1; i < len(work); i++ {
+			if rpoBefore(g, work[i], work[best]) {
+				best = i
+			}
+		}
+		bi := work[best]
+		work[best] = work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[bi] = false
+
+		b := g.Blocks[bi]
+		out := a.Transfer(b, res.In[bi])
+		res.Out[bi] = out
+		for _, e := range b.Edges {
+			f := out
+			if a.Branch != nil {
+				var ok bool
+				f, ok = a.Branch(b, e, out)
+				if !ok {
+					continue
+				}
+			}
+			ti := e.To.Index
+			if !res.Reached[ti] {
+				res.Reached[ti] = true
+				res.In[ti] = f
+				push(ti)
+			} else {
+				merged := a.Merge(res.In[ti], f)
+				if !a.Equal(merged, res.In[ti]) {
+					res.In[ti] = merged
+					push(ti)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// rpoBefore reports whether block index a precedes b in reverse postorder.
+func rpoBefore(g *Graph, a, b int) bool {
+	// Lazily build the position table on the graph.
+	if g.rpoPos == nil {
+		g.rpoPos = make([]int, len(g.Blocks))
+		for i := range g.rpoPos {
+			g.rpoPos[i] = int(^uint(0) >> 1) // dead blocks sort last
+		}
+		for pos, bi := range g.rpo {
+			g.rpoPos[bi] = pos
+		}
+	}
+	return g.rpoPos[a] < g.rpoPos[b]
+}

@@ -1,0 +1,86 @@
+package cfg
+
+// Dominator computation: the iterative algorithm of Cooper, Harvey and
+// Kennedy ("A Simple, Fast Dominance Algorithm") over the live blocks in
+// reverse postorder. Handler CFGs here are tiny (tens of blocks), so the
+// simple O(n^2) worst case is irrelevant and the implementation's
+// obviousness wins.
+
+// Dominators computes (and caches) the immediate-dominator relation over
+// live blocks. It returns a slice indexed by block index: idom[i] is the
+// index of block i's immediate dominator, idom[Entry] == Entry's own index,
+// and -1 for dead blocks.
+func (g *Graph) Dominators() []int {
+	if g.idom != nil {
+		return g.idom
+	}
+	n := len(g.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	// rpoPos[i] = position of block i in reverse postorder, for intersect.
+	rpoPos := make([]int, n)
+	for i := range rpoPos {
+		rpoPos[i] = -1
+	}
+	for pos, bi := range g.rpo {
+		rpoPos[bi] = pos
+	}
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoPos[a] > rpoPos[b] {
+				a = idom[a]
+			}
+			for rpoPos[b] > rpoPos[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	entry := g.Entry.Index
+	idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, bi := range g.rpo {
+			if bi == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Blocks[bi].Preds {
+				if !p.Live || idom[p.Index] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p.Index
+				} else {
+					newIdom = intersect(newIdom, p.Index)
+				}
+			}
+			if newIdom != -1 && idom[bi] != newIdom {
+				idom[bi] = newIdom
+				changed = true
+			}
+		}
+	}
+	g.idom = idom
+	return idom
+}
+
+// Dominates reports whether block a dominates block b (reflexively). Dead
+// blocks dominate nothing and are dominated by nothing.
+func (g *Graph) Dominates(a, b *Block) bool {
+	if !a.Live || !b.Live {
+		return false
+	}
+	idom := g.Dominators()
+	entry := g.Entry.Index
+	for i := b.Index; ; i = idom[i] {
+		if i == a.Index {
+			return true
+		}
+		if i == entry || idom[i] == -1 {
+			return false
+		}
+	}
+}

@@ -10,15 +10,30 @@
 // analyzer catches the sites the obs_allocs_test.go golden would only catch
 // when the missed guard happens to sit on the benchmarked path.
 //
-// Accepted guard shapes (for receiver expression R, compared structurally,
-// or by object identity for plain identifiers):
+// Since PR 8 the check is a real forward nil-guard dataflow over the
+// function's control-flow graph (internal/analysis/cfg) instead of a
+// syntactic dominator walk. The fact at each program point is the set of
+// receiver expressions proven non-nil on *every* path from the function
+// entry; an emission is legal iff its receiver is in that set. This retires
+// the syntactic checker's known blind spots:
 //
-//	if R != nil { ... R.OnFoo(...) ... }         // in-branch guard
-//	if sk := e.Sink; sk != nil { sk.OnFoo(...) } // bound guard
-//	if R == nil { return }; ...; R.OnFoo(...)    // early-exit dominator
+//   - a guard invalidated by a later reassignment of the receiver (or of
+//     any prefix of the receiver path) is no longer trusted;
+//   - guards established through assignment propagation
+//     (`if e.sink == nil { return }; sk := e.sink; sk.OnFoo(...)`) are
+//     recognized;
+//   - guards written as expression-less switch arms
+//     (`switch { case sk == nil: return }`) are recognized;
+//   - the else-arm of `if sk != nil` and the fallthrough path of
+//     `if sk == nil { return }` are distinguished by edge, not by syntax.
 //
-// The early-exit form also accepts panic, continue, and break as the
-// terminating statement.
+// Emission *method values* (`f := sk.OnTxnEnd`) are held to the same rule at
+// the point the value is created, since calling one later computes and boxes
+// arguments exactly like a direct call.
+//
+// Closures are analyzed as their own graphs: a guard enclosing the closure's
+// creation site does not dominate its (later) execution, so the guard must
+// be inside the closure body.
 //
 // The checked surfaces are configurable (New): each Receiver names a type by
 // package path and type name plus the producer-side methods whose call sites
@@ -30,10 +45,13 @@
 package obssink
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"dsisim/internal/analysis"
+	"dsisim/internal/analysis/cfg"
 )
 
 // Receiver names one guarded emission surface: a (pointer-to-)named type or
@@ -107,46 +125,411 @@ func Analyzer() *analysis.Analyzer {
 
 func (c *checker) run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
-		parents := parentMap(f)
+		// Analyze each function-like body independently: a FuncDecl body
+		// with its nested FuncLits each get their own graph and dataflow.
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			candidates := c.byMethod[se.Sel.Name]
-			if len(candidates) == 0 {
-				return true
-			}
-			rt := pass.TypeOf(se.X)
-			matched := false
-			for _, i := range candidates {
-				r := &c.recvs[i]
-				if !isReceiverType(rt, r) {
-					continue
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					c.checkBody(pass, n.Body)
 				}
-				if r.SelfExempt && pass.Pkg.Path() == r.Path {
-					return true
-				}
-				matched = true
-				break
+			case *ast.FuncLit:
+				c.checkBody(pass, n.Body)
 			}
-			if !matched {
-				return true
-			}
-			if guarded(pass, parents, call, se.X) {
-				return true
-			}
-			pass.Reportf(call.Pos(),
-				"unguarded obs emission %s.%s; dominate it with a nil-sink check (if sink != nil { ... })",
-				types.ExprString(se.X), se.Sel.Name)
 			return true
 		})
 	}
 	return nil
+}
+
+// site is one emission to verify: a call or a method value.
+type site struct {
+	sel         *ast.SelectorExpr
+	recvKey     string
+	methodValue bool
+}
+
+// checkBody runs the nil-guard dataflow over one function body and reports
+// unguarded emissions. Nested function literals are skipped here (they are
+// analyzed as their own bodies by run).
+func (c *checker) checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	sites := c.collectSites(pass, body)
+	if len(sites) == 0 {
+		return
+	}
+	g := cfg.New(body, cfg.Options{IsTerminal: func(call *ast.CallExpr) bool {
+		return analysis.IsColdCall(pass.TypesInfo, pass.Directives, call)
+	}})
+	res := cfg.Forward(g, cfg.Analysis[nilFact]{
+		Entry:    nilFact{},
+		Transfer: func(b *cfg.Block, f nilFact) nilFact { return transferBlock(pass, b, f, nil) },
+		Branch: func(b *cfg.Block, e cfg.Edge, f nilFact) (nilFact, bool) {
+			return branchRefine(pass, b, e, f), true
+		},
+		Merge: intersectFacts,
+		Equal: equalFacts,
+	})
+
+	for _, b := range g.Blocks {
+		if !res.Reached[b.Index] {
+			continue // dead code cannot emit
+		}
+		// Re-walk the block incrementally, checking each site against the
+		// fact in force just before its containing leaf statement.
+		transferBlock(pass, b, res.In[b.Index], func(f nilFact, leaf ast.Node) {
+			for _, s := range sites {
+				if !within(s.sel, leaf) {
+					continue
+				}
+				if f[s.recvKey] {
+					continue
+				}
+				what := "obs emission"
+				if s.methodValue {
+					what = "obs emission method value"
+				}
+				pass.Reportf(s.sel.Pos(),
+					"unguarded %s %s.%s; dominate it with a nil-sink check (if sink != nil { ... })",
+					what, types.ExprString(s.sel.X), s.sel.Sel.Name)
+			}
+		})
+	}
+}
+
+// collectSites finds the emission calls and emission method values in body,
+// excluding nested function literals.
+func (c *checker) collectSites(pass *analysis.Pass, body *ast.BlockStmt) []site {
+	var sites []site
+	calls := make(map[*ast.SelectorExpr]bool) // selectors in call position
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				calls[se] = true
+			}
+		}
+		return true
+	})
+	var walk func(n ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok && n != root {
+				return false // analyzed separately
+			}
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !c.matches(pass, se) {
+				return true
+			}
+			key, ok := keyOf(pass.TypesInfo, se.X)
+			if !ok {
+				// Receiver is not a trackable path (call result, index
+				// expression): no guard can be proven — report via an
+				// impossible key.
+				key = "<untrackable>"
+			}
+			sites = append(sites, site{sel: se, recvKey: key, methodValue: !calls[se]})
+			return true
+		})
+	}
+	walk(body)
+	return sites
+}
+
+// matches reports whether the selector is a checked emission method on a
+// checked receiver type (respecting SelfExempt).
+func (c *checker) matches(pass *analysis.Pass, se *ast.SelectorExpr) bool {
+	candidates := c.byMethod[se.Sel.Name]
+	if len(candidates) == 0 {
+		return false
+	}
+	rt := pass.TypeOf(se.X)
+	for _, i := range candidates {
+		r := &c.recvs[i]
+		if !isReceiverType(rt, r) {
+			continue
+		}
+		if r.SelfExempt && pass.Pkg.Path() == r.Path {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// within reports whether node n is inside (or is) the leaf statement. A
+// range statement is a leaf of its head block but spans its body too; only
+// its header (range expression and iteration variables) counts as "at the
+// head".
+func within(n ast.Node, leaf ast.Node) bool {
+	end := leaf.End()
+	if rs, ok := leaf.(*ast.RangeStmt); ok {
+		end = rs.Body.Pos()
+	}
+	return leaf.Pos() <= n.Pos() && n.End() <= end
+}
+
+// nilFact is the dataflow fact: the set of receiver keys proven non-nil on
+// every path reaching the program point.
+type nilFact map[string]bool
+
+func cloneFact(f nilFact) nilFact {
+	c := make(nilFact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+func intersectFacts(a, b nilFact) nilFact {
+	m := nilFact{}
+	for k := range a {
+		if b[k] {
+			m[k] = true
+		}
+	}
+	return m
+}
+
+func equalFacts(a, b nilFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// transferBlock applies the block's leaf statements to the fact. When probe
+// is non-nil it is invoked before each leaf with the fact in force there
+// (used for the reporting pass). The block's condition, if any, is probed
+// after all leaves.
+func transferBlock(pass *analysis.Pass, b *cfg.Block, f nilFact, probe func(nilFact, ast.Node)) nilFact {
+	for _, n := range b.Nodes {
+		if probe != nil {
+			probe(f, n)
+		}
+		f = transferNode(pass, n, f)
+	}
+	if probe != nil && b.Cond != nil {
+		probe(f, b.Cond)
+	}
+	return f
+}
+
+// transferNode applies one leaf statement: assignments kill facts about
+// their targets (and any deeper path through them) and propagate non-nilness
+// on direct x := y copies.
+func transferNode(pass *analysis.Pass, n ast.Node, f nilFact) nilFact {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// Gen before kill: RHS is evaluated in the pre-assignment state.
+		var gens []string
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				lk, ok := keyOf(pass.TypesInfo, lhs)
+				if !ok {
+					continue
+				}
+				if rk, ok := keyOf(pass.TypesInfo, n.Rhs[i]); ok && f[rk] {
+					gens = append(gens, lk)
+				}
+			}
+		}
+		for _, lhs := range n.Lhs {
+			f = killKey(pass, f, lhs)
+		}
+		if len(gens) > 0 {
+			f = cloneFact(f)
+			for _, k := range gens {
+				f[k] = true
+			}
+		}
+		return f
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return f
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				f = killKey(pass, f, name)
+				if i < len(vs.Values) {
+					if rk, ok := keyOf(pass.TypesInfo, vs.Values[i]); ok && f[rk] {
+						lk, lok := keyOf(pass.TypesInfo, name)
+						if lok {
+							f = cloneFact(f)
+							f[lk] = true
+						}
+					}
+				}
+			}
+		}
+		return f
+	case *ast.RangeStmt:
+		f = killKey(pass, f, n.Key)
+		f = killKey(pass, f, n.Value)
+		return f
+	}
+	return f
+}
+
+// killKey removes facts about the assigned expression and any receiver path
+// extending it (assigning e kills e.sink too).
+func killKey(pass *analysis.Pass, f nilFact, lhs ast.Expr) nilFact {
+	if lhs == nil {
+		return f
+	}
+	k, ok := keyOf(pass.TypesInfo, lhs)
+	if !ok {
+		return f
+	}
+	var doomed []string
+	for fk := range f {
+		if fk == k || strings.HasPrefix(fk, k+".") {
+			doomed = append(doomed, fk)
+		}
+	}
+	if len(doomed) == 0 {
+		return f
+	}
+	f = cloneFact(f)
+	for _, fk := range doomed {
+		delete(f, fk)
+	}
+	return f
+}
+
+// branchRefine strengthens the fact along a branch edge using the block's
+// condition (if/for) or its expression-less-switch case clauses.
+func branchRefine(pass *analysis.Pass, b *cfg.Block, e cfg.Edge, f nilFact) nilFact {
+	switch e.Kind {
+	case cfg.EdgeTrue:
+		if b.Cond != nil {
+			return assume(pass, b.Cond, true, f)
+		}
+	case cfg.EdgeFalse:
+		if b.Cond != nil {
+			return assume(pass, b.Cond, false, f)
+		}
+	case cfg.EdgeCase, cfg.EdgeDefault:
+		// Only expression-less switches act as guards: `switch { case sk ==
+		// nil: return }`. Tagged switches and type switches prove nothing
+		// about nilness here.
+		sw, ok := b.Stmt.(*ast.SwitchStmt)
+		if !ok || sw.Tag != nil {
+			return f
+		}
+		if e.Kind == cfg.EdgeCase {
+			cc, ok := e.Case.(*ast.CaseClause)
+			if !ok || len(cc.List) != 1 {
+				return f // multi-expr case is a disjunction; proves nothing
+			}
+			return assume(pass, cc.List[0], true, f)
+		}
+		// Default edge: every case expression was false.
+		for _, edge := range b.Edges {
+			cc, ok := edge.Case.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, x := range cc.List {
+				f = assume(pass, x, false, f)
+			}
+		}
+		return f
+	case cfg.EdgeNext:
+	}
+	return f
+}
+
+// assume refines the fact under "cond evaluates to truth": non-nilness flows
+// from `x != nil` being true or `x == nil` being false, through &&/||/!
+// decomposition.
+func assume(pass *analysis.Pass, cond ast.Expr, truth bool, f nilFact) nilFact {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if e.Op.String() == "!" {
+			return assume(pass, e.X, !truth, f)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "&&":
+			if truth {
+				return assume(pass, e.Y, truth, assume(pass, e.X, truth, f))
+			}
+		case "||":
+			if !truth {
+				return assume(pass, e.Y, truth, assume(pass, e.X, truth, f))
+			}
+		case "!=":
+			if truth {
+				return addNonNil(pass, e, f)
+			}
+		case "==":
+			if !truth {
+				return addNonNil(pass, e, f)
+			}
+		}
+	}
+	return f
+}
+
+// addNonNil records the non-nil operand of a nil comparison.
+func addNonNil(pass *analysis.Pass, e *ast.BinaryExpr, f nilFact) nilFact {
+	x, y := ast.Unparen(e.X), ast.Unparen(e.Y)
+	var recv ast.Expr
+	if isNil(pass, y) {
+		recv = x
+	} else if isNil(pass, x) {
+		recv = y
+	} else {
+		return f
+	}
+	k, ok := keyOf(pass.TypesInfo, recv)
+	if !ok {
+		return f
+	}
+	f = cloneFact(f)
+	f[k] = true
+	return f
+}
+
+// keyOf canonicalizes a receiver path expression: identifiers resolve to
+// their declaring object (robust against shadowing), selector chains append
+// field names. Anything else (calls, indexing) is untrackable.
+func keyOf(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return "", false
+		}
+		return fmt.Sprintf("%s@%d", e.Name, obj.Pos()), true
+	case *ast.SelectorExpr:
+		base, ok := keyOf(info, e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
 }
 
 // isReceiverType reports whether t is r's named type, a pointer to it, or
@@ -164,147 +547,4 @@ func isReceiverType(t types.Type, r *Receiver) bool {
 	}
 	obj := named.Obj()
 	return obj.Name() == r.Type && obj.Pkg() != nil && obj.Pkg().Path() == r.Path
-}
-
-// parentMap indexes every node's parent within f.
-func parentMap(f *ast.File) map[ast.Node]ast.Node {
-	parents := make(map[ast.Node]ast.Node)
-	var stack []ast.Node
-	ast.Inspect(f, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
-		}
-		if len(stack) > 0 {
-			parents[n] = stack[len(stack)-1]
-		}
-		stack = append(stack, n)
-		return true
-	})
-	return parents
-}
-
-// guarded reports whether the call at node is dominated by a nil check of
-// recv: an enclosing `if recv != nil` taken-branch, or an earlier
-// `if recv == nil { return/panic/continue/break }` in an enclosing block.
-func guarded(pass *analysis.Pass, parents map[ast.Node]ast.Node, node ast.Node, recv ast.Expr) bool {
-	child := ast.Node(node)
-	for n := parents[node]; n != nil; child, n = n, parents[n] {
-		switch n := n.(type) {
-		case *ast.IfStmt:
-			if child == n.Body && condProvesNonNil(pass, n.Cond, recv) {
-				return true
-			}
-		case *ast.BlockStmt:
-			if earlyExitGuard(pass, n.List, child, recv) {
-				return true
-			}
-		case *ast.CaseClause:
-			if earlyExitGuard(pass, n.Body, child, recv) {
-				return true
-			}
-		case *ast.CommClause:
-			if earlyExitGuard(pass, n.Body, child, recv) {
-				return true
-			}
-		case *ast.FuncLit, *ast.FuncDecl:
-			// A closure may run later, outside any guard that encloses its
-			// creation site; require the guard inside the function body.
-			return false
-		}
-	}
-	return false
-}
-
-// earlyExitGuard scans the statements before the one containing child for
-// `if recv == nil { ...terminator }`.
-func earlyExitGuard(pass *analysis.Pass, stmts []ast.Stmt, child ast.Node, recv ast.Expr) bool {
-	for _, st := range stmts {
-		if st == child {
-			return false
-		}
-		ifs, ok := st.(*ast.IfStmt)
-		if !ok || ifs.Else != nil {
-			continue
-		}
-		if !condIsNilCheck(pass, ifs.Cond, recv) || len(ifs.Body.List) == 0 {
-			continue
-		}
-		if terminates(ifs.Body.List[len(ifs.Body.List)-1]) {
-			return true
-		}
-	}
-	return false
-}
-
-// terminates reports whether st unconditionally leaves the enclosing
-// statement list.
-func terminates(st ast.Stmt) bool {
-	switch st := st.(type) {
-	case *ast.ReturnStmt, *ast.BranchStmt:
-		return true
-	case *ast.ExprStmt:
-		call, ok := st.X.(*ast.CallExpr)
-		if !ok {
-			return false
-		}
-		ident, ok := ast.Unparen(call.Fun).(*ast.Ident)
-		return ok && ident.Name == "panic"
-	}
-	return false
-}
-
-// condProvesNonNil reports whether cond (possibly an && conjunction)
-// contains the conjunct `recv != nil`.
-func condProvesNonNil(pass *analysis.Pass, cond ast.Expr, recv ast.Expr) bool {
-	switch e := ast.Unparen(cond).(type) {
-	case *ast.BinaryExpr:
-		switch e.Op.String() {
-		case "&&":
-			return condProvesNonNil(pass, e.X, recv) || condProvesNonNil(pass, e.Y, recv)
-		case "!=":
-			return nilComparisonOf(pass, e, recv)
-		}
-	}
-	return false
-}
-
-// condIsNilCheck reports whether cond is exactly `recv == nil`.
-func condIsNilCheck(pass *analysis.Pass, cond ast.Expr, recv ast.Expr) bool {
-	e, ok := ast.Unparen(cond).(*ast.BinaryExpr)
-	return ok && e.Op.String() == "==" && nilComparisonOf(pass, e, recv)
-}
-
-// nilComparisonOf reports whether the comparison e has nil on one side and
-// an expression equal to recv on the other.
-func nilComparisonOf(pass *analysis.Pass, e *ast.BinaryExpr, recv ast.Expr) bool {
-	x, y := ast.Unparen(e.X), ast.Unparen(e.Y)
-	if isNil(pass, y) {
-		return sameExpr(pass, x, recv)
-	}
-	if isNil(pass, x) {
-		return sameExpr(pass, y, recv)
-	}
-	return false
-}
-
-func isNil(pass *analysis.Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
-	return ok && tv.IsNil()
-}
-
-// sameExpr compares two expressions: by use-object identity for plain
-// identifiers (robust against shadowing), structurally otherwise.
-func sameExpr(pass *analysis.Pass, a, b ast.Expr) bool {
-	ai, aok := a.(*ast.Ident)
-	bi, bok := b.(*ast.Ident)
-	if aok != bok {
-		return false
-	}
-	if aok {
-		ao := pass.TypesInfo.Uses[ai]
-		bo := pass.TypesInfo.Uses[bi]
-		return ao != nil && ao == bo
-	}
-	return types.ExprString(a) == types.ExprString(b)
 }

@@ -116,6 +116,73 @@ func (e *env) retryTimeoutUnguarded(b mem.Addr) {
 	e.sink.OnRetryTimeout(e.now, 0, b, 1, 2, false) // want `unguarded obs emission`
 }
 
+// The cases below exercise the PR 8 dataflow semantics: patterns the old
+// syntactic checker got wrong in either direction.
+
+func (e *env) reassignedAfterGuard(b mem.Addr) {
+	if e.sink == nil {
+		return
+	}
+	e.sink = nil                       // kill: the guard no longer holds
+	e.sink.OnTxnEnd(e.now, 0, b, 1, 2) // want `unguarded obs emission`
+}
+
+func (e *env) boundAfterGuard(b mem.Addr) {
+	if e.sink == nil {
+		return
+	}
+	sk := e.sink                        // propagation: sk inherits non-nilness
+	sk.OnTxnEnd(e.now, 0, b, 1, 2)      // ok: assignment propagation
+	sk.OnTxnStart(e.now, 0, b, 1, 2, 0) // ok: still bound
+}
+
+func (e *env) reboundToUnknown(b mem.Addr, other *obs.Sink) {
+	sk := e.sink
+	if sk == nil {
+		return
+	}
+	sk = other                     // kill: rebound to unknown value
+	sk.OnTxnEnd(e.now, 0, b, 1, 2) // want `unguarded obs emission`
+}
+
+func (e *env) switchGuard(b mem.Addr) {
+	switch {
+	case e.sink == nil:
+		return
+	default:
+	}
+	e.sink.OnTxnEnd(e.now, 0, b, 1, 2) // ok: expression-less switch guard
+}
+
+func (e *env) elseOfNilCheck(b mem.Addr) {
+	if e.sink == nil {
+		_ = b
+	} else {
+		e.sink.OnTxnEnd(e.now, 0, b, 1, 2) // ok: else edge proves non-nil
+	}
+}
+
+func (e *env) guardThenLoop(bs []mem.Addr) {
+	if e.sink == nil {
+		return
+	}
+	for _, b := range bs {
+		e.sink.OnTxnEnd(e.now, 0, b, 1, 2) // ok: guard dominates the loop
+	}
+}
+
+func (e *env) methodValueGuarded(b mem.Addr) func(event.Time) {
+	if e.sink == nil {
+		return nil
+	}
+	end := e.sink.OnTxnEnd // ok: bound under the guard
+	return func(now event.Time) { end(now, 0, b, 1, 2) }
+}
+
+func (e *env) methodValueUnguarded() func(event.Time, int, mem.Addr, uint64, int) {
+	return e.sink.OnTxnEnd // want `unguarded obs emission method value`
+}
+
 // netEnv exercises the netsim.Observer receiver surface: emissions through
 // the interface are under the same contract as *obs.Sink's methods.
 type netEnv struct {

@@ -1,0 +1,66 @@
+// Second file of the obssink fixture: guards and emissions split across
+// files of one package, sinks reached through map indexes (each index
+// re-reads the map, so a guard on one read proves nothing about the next),
+// and more method-value shapes.
+package a
+
+import (
+	"dsisim/internal/event"
+	"dsisim/internal/mem"
+	"dsisim/internal/obs"
+)
+
+// crossFileGuarded is declared here over a.go's env type: the dataflow must
+// resolve the receiver and its sink field across files.
+func (e *env) crossFileGuarded(b mem.Addr) {
+	if e.sink != nil {
+		e.sink.OnTxnStart(e.now, 0, b, 1, 2, 0)
+	}
+}
+
+func (e *env) crossFileUnguarded(b mem.Addr) {
+	e.sink.OnTxnStart(e.now, 0, b, 1, 2, 0) // want `unguarded obs emission e\.sink\.OnTxnStart`
+}
+
+type registry struct {
+	sinks map[int]*obs.Sink
+	now   event.Time
+}
+
+// mapIndexRebound is the sound shape for map-held sinks: bind the element
+// once, guard the binding, emit through it.
+func (r *registry) mapIndexRebound(i int, b mem.Addr) {
+	sk := r.sinks[i]
+	if sk == nil {
+		return
+	}
+	sk.OnTxnEnd(r.now, 0, b, 1, 2)
+}
+
+// mapIndexReread re-reads the map at the emission, so the guard on the
+// first read proves nothing about the second.
+func (r *registry) mapIndexReread(i int, b mem.Addr) {
+	if r.sinks[i] != nil {
+		r.sinks[i].OnTxnEnd(r.now, 0, b, 1, 2) // want `unguarded obs emission`
+	}
+}
+
+// methodValueFromMap binds an emission method value off a map element; the
+// binding site must itself be guarded.
+func (r *registry) methodValueFromMap(i int) func(event.Time, int, mem.Addr, uint64, int) {
+	return r.sinks[i].OnTxnEnd // want `unguarded obs emission method value`
+}
+
+func (r *registry) methodValueFromMapGuarded(i int) func(event.Time, int, mem.Addr, uint64, int) {
+	sk := r.sinks[i]
+	if sk == nil {
+		return nil
+	}
+	return sk.OnTxnEnd
+}
+
+// methodValueArg passes the method value straight into a helper — creation
+// is the emission point, argument position included.
+func (r *registry) methodValueArg(i int, apply func(func(event.Time, int, mem.Addr, uint64, int))) {
+	apply(r.sinks[i].OnTxnEnd) // want `unguarded obs emission method value`
+}

@@ -1,0 +1,25 @@
+package protomodel
+
+import (
+	"dsisim/internal/analysis"
+)
+
+// Analyzer wires extraction into the dsivet suite: on the proto package it
+// extracts the transition model and reports every completeness finding;
+// other packages are skipped.
+var Analyzer = &analysis.Analyzer{
+	Name: "protomodel",
+	Doc:  "check the coherence protocol's transition table for completeness: every (controller, state, trigger) pair is handled, waived with //dsi:unreachable, or statically infeasible; no dead arms; no silent state changes",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != ProtoPackage {
+		return nil
+	}
+	_, probs := ExtractPass(pass)
+	for _, p := range probs {
+		pass.Reportf(p.Pos, "%s", p.Msg)
+	}
+	return nil
+}

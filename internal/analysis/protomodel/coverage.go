@@ -1,0 +1,266 @@
+package protomodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dsisim/internal/mem"
+	"dsisim/internal/obs"
+)
+
+// Observed is one runtime-observed transition: a trigger arriving at a
+// controller while its block sat in a given entry state.
+type Observed struct {
+	Controller string // "dir" or "cache"
+	Trigger    string // model trigger vocabulary ("GetS", "timeout:txn", ...)
+	State      string // entry state name from the controller's States list
+}
+
+func (o Observed) String() string {
+	return fmt.Sprintf("%s: %s in %s", o.Controller, o.Trigger, o.State)
+}
+
+// cacheBound is the set of message kinds CacheCtrl.Handle dispatches on;
+// every other kind is home-bound and lands in DirCtrl.Handle. Mirrors the
+// routing in internal/proto and is cross-checked against the static model by
+// NewCoverage (a cache-bound kind must be waived on the dir side).
+var cacheBound = map[string]bool{
+	"Inv": true, "Recall": true, "DataS": true, "DataX": true,
+	"AckX": true, "FinalAck": true, "Nack": true,
+}
+
+// covKey identifies one block's shadow state at one node.
+type covKey struct {
+	node int32
+	addr mem.Addr
+}
+
+// Coverage folds an obs event stream into observed (controller, trigger,
+// state) triples and checks each against a static Model: the runtime half of
+// the protomodel cross-check. It reconstructs per-(node, block) shadow
+// states from CacheState/DirState/SelfInval/FIFODisplace events — the
+// MsgRecv event for a message fires before its handler runs, so the shadow
+// state at that point is the state the handler dispatched on.
+type Coverage struct {
+	model *Model
+	dir   *Controller
+	cache *Controller
+
+	dirState   map[covKey]uint8 // absent = Idle (code 0)
+	cacheState map[covKey]uint8 // absent = Invalid (code 0)
+
+	seen       map[Observed]uint64
+	violations map[Observed]uint64
+}
+
+// NewCoverage builds a Coverage over a static model. It fails if the model
+// lacks either controller or if the message routing baked into this checker
+// disagrees with the model's waivers (a cache-bound kind handled on the dir
+// side, or vice versa, means the checker would file triples under the wrong
+// controller).
+func NewCoverage(m *Model) (*Coverage, error) {
+	c := &Coverage{
+		model:      m,
+		dir:        m.Controller("dir"),
+		cache:      m.Controller("cache"),
+		dirState:   make(map[covKey]uint8),
+		cacheState: make(map[covKey]uint8),
+		seen:       make(map[Observed]uint64),
+		violations: make(map[Observed]uint64),
+	}
+	if c.dir == nil || c.cache == nil {
+		return nil, fmt.Errorf("protomodel: model %q lacks dir/cache controllers", m.Package)
+	}
+	for _, kind := range m.Kinds {
+		side, other := c.dir, c.cache
+		if cacheBound[kind] {
+			side, other = c.cache, c.dir
+		}
+		if t := side.Lookup(kind, side.States[0]); t == nil {
+			return nil, fmt.Errorf("protomodel: model has no %s-side entry for %s", sideName(side, c), kind)
+		}
+		if t := other.Lookup(kind, other.States[0]); t != nil && t.Kind == Handled {
+			return nil, fmt.Errorf("protomodel: %s handled on the %s side, but coverage routes it to %s",
+				kind, sideName(other, c), sideName(side, c))
+		}
+	}
+	return c, nil
+}
+
+func sideName(ctrl *Controller, c *Coverage) string {
+	if ctrl == c.dir {
+		return "dir"
+	}
+	return "cache"
+}
+
+// Observe folds one event. Events must arrive in emission order (as
+// (*obs.Sink).ForEach replays them).
+func (c *Coverage) Observe(e *obs.Event) {
+	k := covKey{e.Node, e.Addr}
+	switch e.Kind {
+	case obs.MsgSend, obs.TxnStart, obs.TxnEnd, obs.TearOffGrant, obs.Fault:
+		// Not state-attributable: sends precede delivery, txn brackets and
+		// tear-off grants duplicate the state-change events, and faulted
+		// messages never reach a handler.
+	case obs.DirState:
+		c.dirState[k] = e.New
+	case obs.CacheState:
+		c.cacheState[k] = e.New
+	case obs.SelfInval, obs.FIFODisplace:
+		c.cacheState[k] = 0 // cache.Invalid
+	case obs.MsgRecv:
+		kind := e.Msg.String()
+		if cacheBound[kind] {
+			c.record(c.cache, kind, c.cacheState[k])
+		} else {
+			c.record(c.dir, kind, c.dirState[k])
+		}
+	case obs.Timeout:
+		if e.New == 1 { // directory-side transaction timeout
+			c.record(c.dir, "timeout:txn", c.dirState[k])
+			return
+		}
+		// Cache side: the event does not say whether the miss or the
+		// final-ack timer fired, so accept whichever the model handles in
+		// this state, preferring the miss timer.
+		st := c.cacheState[k]
+		name := c.stateName(c.cache, st)
+		if t := c.cache.Lookup("timeout:miss", name); t != nil && t.Kind == Handled {
+			c.record(c.cache, "timeout:miss", st)
+			return
+		}
+		c.record(c.cache, "timeout:final", st)
+	}
+}
+
+// record checks one observed triple against the static table and tallies it.
+func (c *Coverage) record(ctrl *Controller, trigger string, state uint8) {
+	o := Observed{sideName(ctrl, c), trigger, c.stateName(ctrl, state)}
+	c.seen[o]++
+	t := ctrl.Lookup(trigger, o.State)
+	if t == nil || t.Kind != Handled {
+		c.violations[o]++
+	}
+}
+
+// stateName maps a raw state code to the model's name for it. The States
+// lists are emitted in enum declaration order, so the code indexes directly.
+func (c *Coverage) stateName(ctrl *Controller, code uint8) string {
+	if int(code) < len(ctrl.States) {
+		return ctrl.States[int(code)]
+	}
+	return fmt.Sprintf("state#%d", code)
+}
+
+// FoldSink replays every retained event in s through Observe.
+func (c *Coverage) FoldSink(s *obs.Sink) {
+	s.ForEach(c.Observe)
+}
+
+// Violations returns the observed triples the static model does not admit —
+// pairs it marked waived (//dsi:unreachable), infeasible, or never extracted
+// at all — sorted, with observation counts. Empty means the run stayed
+// inside the static table.
+func (c *Coverage) Violations() []ObservedCount {
+	return sortCounts(c.violations)
+}
+
+// Seen returns every observed triple with its count, sorted.
+func (c *Coverage) Seen() []ObservedCount {
+	return sortCounts(c.seen)
+}
+
+// ObservedCount pairs a triple with how many times it was observed.
+type ObservedCount struct {
+	Observed
+	Count uint64
+}
+
+func sortCounts(m map[Observed]uint64) []ObservedCount {
+	out := make([]ObservedCount, 0, len(m))
+	for o, n := range m {
+		out = append(out, ObservedCount{o, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Observed, out[j].Observed
+		if a.Controller != b.Controller {
+			return a.Controller < b.Controller
+		}
+		if a.Trigger != b.Trigger {
+			return a.Trigger < b.Trigger
+		}
+		return a.State < b.State
+	})
+	return out
+}
+
+// Missing returns the handled, runtime-observable transitions the event
+// stream never exercised, sorted. Processor-op triggers (op:*) are excluded:
+// the event stream has no record distinguishing which op reached the
+// controller, so they cannot be attributed.
+func (c *Coverage) Missing() []Observed {
+	var out []Observed
+	for _, ctrl := range []*Controller{c.cache, c.dir} {
+		for i := range ctrl.Transitions {
+			t := &ctrl.Transitions[i]
+			if t.Kind != Handled || !observable(t.Trigger) {
+				continue
+			}
+			o := Observed{sideName(ctrl, c), t.Trigger, t.State}
+			if c.seen[o] == 0 {
+				out = append(out, o)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Controller != b.Controller {
+			return a.Controller < b.Controller
+		}
+		if a.Trigger != b.Trigger {
+			return a.Trigger < b.Trigger
+		}
+		return a.State < b.State
+	})
+	return out
+}
+
+// observable reports whether a trigger can be attributed from the event
+// stream.
+func observable(trigger string) bool {
+	return !strings.HasPrefix(trigger, "op:")
+}
+
+// Summary condenses the fold for reporting.
+type Summary struct {
+	Observable int // handled transitions attributable from the event stream
+	Exercised  int // of those, how many the stream hit
+	Violations int // distinct observed triples outside the static table
+}
+
+// Summarize computes coverage totals over the model's handled,
+// runtime-observable transitions.
+func (c *Coverage) Summarize() Summary {
+	var s Summary
+	for _, ctrl := range []*Controller{c.cache, c.dir} {
+		for i := range ctrl.Transitions {
+			t := &ctrl.Transitions[i]
+			if t.Kind != Handled || !observable(t.Trigger) {
+				continue
+			}
+			s.Observable++
+			if c.seen[Observed{sideName(ctrl, c), t.Trigger, t.State}] > 0 {
+				s.Exercised++
+			}
+		}
+	}
+	s.Violations = len(c.violations)
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("transition coverage: %d/%d handled transitions exercised, %d violation(s)",
+		s.Exercised, s.Observable, s.Violations)
+}

@@ -1,0 +1,70 @@
+package protomodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders the model as one markdown table per controller, triggers
+// as rows and entry states as columns. Cell legend:
+//
+//	·          handled, state unchanged
+//	→A/B       handled, may leave the block in A or B
+//	!          suffix: some path still dies in a defensive assertion
+//	w          waived (//dsi:unreachable): the pair cannot occur
+//	-          statically infeasible
+func Markdown(m *Model) string {
+	var b strings.Builder
+	for _, c := range m.Controllers {
+		fmt.Fprintf(&b, "#### %s controller\n\n", c.Name)
+		b.WriteString("| trigger |")
+		for _, s := range c.States {
+			fmt.Fprintf(&b, " %s |", s)
+		}
+		b.WriteString("\n|---|")
+		for range c.States {
+			b.WriteString("---|")
+		}
+		b.WriteByte('\n')
+		var triggers []string
+		seen := make(map[string]bool)
+		for _, t := range c.Transitions {
+			if !seen[t.Trigger] {
+				seen[t.Trigger] = true
+				triggers = append(triggers, t.Trigger)
+			}
+		}
+		for _, trig := range triggers {
+			fmt.Fprintf(&b, "| %s |", trig)
+			for _, s := range c.States {
+				t := c.Lookup(trig, s)
+				cell := "-"
+				if t != nil {
+					cell = markdownCell(t)
+				}
+				fmt.Fprintf(&b, " %s |", cell)
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func markdownCell(t *Transition) string {
+	switch t.Kind {
+	case Infeasible:
+		return "-"
+	case Waived, Fail:
+		return "w"
+	case Handled:
+	}
+	cell := "·"
+	if len(t.Next) > 0 {
+		cell = "→" + strings.Join(t.Next, "/")
+	}
+	if t.MayFail {
+		cell += "!"
+	}
+	return cell
+}

@@ -1,0 +1,116 @@
+package protomodel
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTransitionKindNames(t *testing.T) {
+	cases := []struct {
+		k    TransitionKind
+		name string
+	}{
+		{Handled, "handled"},
+		{Fail, "fail"},
+		{Waived, "waived"},
+		{Infeasible, "infeasible"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.name {
+			t.Errorf("%d.String() = %q, want %q", c.k, got, c.name)
+		}
+		b, err := c.k.MarshalText()
+		if err != nil || string(b) != c.name {
+			t.Errorf("%d.MarshalText() = %q, %v, want %q", c.k, b, err, c.name)
+		}
+		var back TransitionKind
+		if err := back.UnmarshalText([]byte(c.name)); err != nil || back != c.k {
+			t.Errorf("UnmarshalText(%q) = %d, %v, want %d", c.name, back, err, c.k)
+		}
+	}
+	if s := TransitionKind(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("invalid kind String() = %q, want the raw value in it", s)
+	}
+	if _, err := TransitionKind(99).MarshalText(); err == nil {
+		t.Error("MarshalText accepted an invalid TransitionKind")
+	}
+	var k TransitionKind
+	if err := k.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("UnmarshalText accepted an unknown kind name")
+	}
+}
+
+func TestWaiverReasonNames(t *testing.T) {
+	cases := []struct {
+		r    WaiverReason
+		name string
+	}{
+		{ReasonNone, ""},
+		{ReasonNotRouted, "not-routed"},
+		{ReasonInvariant, "invariant"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.name {
+			t.Errorf("%d.String() = %q, want %q", c.r, got, c.name)
+		}
+		b, err := c.r.MarshalText()
+		if err != nil || string(b) != c.name {
+			t.Errorf("%d.MarshalText() = %q, %v, want %q", c.r, b, err, c.name)
+		}
+		var back WaiverReason
+		if err := back.UnmarshalText([]byte(c.name)); err != nil || back != c.r {
+			t.Errorf("UnmarshalText(%q) = %d, %v, want %d", c.name, back, err, c.r)
+		}
+		parsed, ok := ParseWaiverReason(c.name)
+		wantOK := c.r != ReasonNone
+		if ok != wantOK || (ok && parsed != c.r) {
+			t.Errorf("ParseWaiverReason(%q) = %d, %v, want %d, %v", c.name, parsed, ok, c.r, wantOK)
+		}
+	}
+	if _, err := WaiverReason(99).MarshalText(); err == nil {
+		t.Error("MarshalText accepted an invalid WaiverReason")
+	}
+	var r WaiverReason
+	if err := r.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("UnmarshalText accepted an unknown reason token")
+	}
+	if _, ok := ParseWaiverReason("bogus"); ok {
+		t.Error("ParseWaiverReason accepted an unknown token")
+	}
+}
+
+// TestTransitionJSONRoundTrip pins the wire names the committed golden uses:
+// kinds and reasons serialize as their lowercase tokens, and zero-valued
+// optional fields vanish.
+func TestTransitionJSONRoundTrip(t *testing.T) {
+	tr := Transition{Trigger: "GetS", State: "Idle", Kind: Waived, Reason: ReasonNotRouted}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"kind":"waived"`, `"reason":"not-routed"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("marshaled transition %s lacks %s", s, want)
+		}
+	}
+	for _, reject := range []string{"next", "sends", "counters", "emits", "mayFail"} {
+		if strings.Contains(s, reject) {
+			t.Errorf("marshaled transition %s carries empty optional field %q", s, reject)
+		}
+	}
+	var back Transition
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != Waived || back.Reason != ReasonNotRouted || back.Trigger != "GetS" {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+}
+
+func TestParseRejectsWrongSchema(t *testing.T) {
+	if _, err := Parse([]byte(`{"schema": 999, "package": "x", "kinds": [], "controllers": []}`)); err == nil {
+		t.Error("Parse accepted a future schema version")
+	}
+}

@@ -471,6 +471,8 @@ func (p *Proc) Barrier() {
 
 // Assert aborts the kernel with a diagnostic if cond is false; the failure
 // surfaces as a run error. Use it for workload-level data-flow checks.
+//
+//dsi:coldpath
 func (p *Proc) Assert(cond bool, format string, args ...any) {
 	if !cond {
 		panic(fmt.Sprintf("proc %d assertion failed: %s", p.id, fmt.Sprintf(format, args...)))

@@ -701,6 +701,10 @@ func (cc *CacheCtrl) Handle(m netsim.Message) {
 	case netsim.Nack:
 		cc.onNack(m)
 	default:
+		// The fabric routes requests, acks, and drop notices to the home
+		// directory; only grants, probes, and recall/invalidate traffic ever
+		// target a cache.
+		//dsi:unreachable not-routed — home-bound kinds never reach a cache
 		cc.env.fail("cache %d: unexpected message %v", cc.node, m)
 	}
 }

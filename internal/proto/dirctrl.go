@@ -334,6 +334,9 @@ func (dc *DirCtrl) Handle(m netsim.Message) {
 	case netsim.SInvNotify:
 		dc.onSharedDrop(m, core.CauseSelfInv)
 	default:
+		// The fabric routes grants, probes, and recall/invalidate traffic to
+		// caches; only requests, acks, and drop notices target the home.
+		//dsi:unreachable not-routed — cache-bound kinds never reach the home
 		dc.env.fail("dir %d: unexpected message %v", dc.node, m)
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"dsisim/internal/core"
 	"dsisim/internal/faultinj"
 	"dsisim/internal/machine"
+	"dsisim/internal/obs"
 	"dsisim/internal/proto"
 	"dsisim/internal/rng"
 )
@@ -132,8 +133,8 @@ func GenLitmus(seed uint64) *LitmusSpec {
 // value of every block, the final counter, and the allowed value set for
 // every read op (indexed by the op's position in Spec.Ops).
 type litmusOutcome struct {
-	final   []uint64          // blocks then counter
-	allowed map[int][2]uint64 // read op index -> {low, high} allowed values
+	final   []uint64    // blocks then counter
+	allowed [][2]uint64 // indexed by op position in Spec.Ops; {low, high} for read ops
 }
 
 // referenceOutcome executes the spec on the sequentially-consistent
@@ -142,7 +143,7 @@ type litmusOutcome struct {
 func referenceOutcome(s *LitmusSpec) litmusOutcome {
 	out := litmusOutcome{
 		final:   make([]uint64, s.Blocks+1),
-		allowed: make(map[int][2]uint64),
+		allowed: make([][2]uint64, len(s.Ops)),
 	}
 	cur := make([]uint64, s.Blocks)     // value published by the last barrier
 	prev := make([]uint64, s.Blocks)    // value before this round's write
@@ -241,7 +242,11 @@ func (w *litmusProgram) Setup(m *machine.Machine) {
 	w.lk = NewLocks(m.Layout(), "litmus.lock", 1)
 }
 
-// Kernel implements Program.
+// Kernel implements Program. The per-op dispatch loop is the fuzzer's
+// simulation hot path: every generated program funnels through it under
+// every protocol x fault-plan cell.
+//
+//dsi:hotpath
 func (w *litmusProgram) Kernel(p *Proc) {
 	ops := w.perProc[p.ID()]
 	k := 0
@@ -323,12 +328,13 @@ func FuzzFaultPlans() []FuzzFaultPlan {
 // runLitmus executes the spec under one protocol × fault-plan cell and
 // returns the first failure: a kernel assert or audit error recorded in the
 // machine result, or an outcome cross-check mismatch.
-func runLitmus(prog *litmusProgram, pr FuzzProtocol, plan FuzzFaultPlan) error {
+func runLitmus(prog *litmusProgram, pr FuzzProtocol, plan FuzzFaultPlan, sink *obs.Sink) error {
 	cfg := machine.Config{
 		Processors:  prog.spec.Procs,
 		Consistency: pr.Consistency,
 		Policy:      pr.Policy,
 		Seed:        prog.spec.Seed | 1,
+		Sink:        sink,
 	}
 	if plan.Config != nil {
 		fc := *plan.Config
@@ -344,7 +350,14 @@ func runLitmus(prog *litmusProgram, pr FuzzProtocol, plan FuzzFaultPlan) error {
 
 // RunLitmus executes the spec under one protocol × fault-plan cell.
 func RunLitmus(s *LitmusSpec, pr FuzzProtocol, plan FuzzFaultPlan) error {
-	return runLitmus(newLitmusProgram(s), pr, plan)
+	return runLitmus(newLitmusProgram(s), pr, plan, nil)
+}
+
+// RunLitmusObserved is RunLitmus with a coherence-event sink attached, for
+// consumers that need the run's event stream (the protomodel transition-
+// coverage cross-check folds it against the static transition table).
+func RunLitmusObserved(s *LitmusSpec, pr FuzzProtocol, plan FuzzFaultPlan, sink *obs.Sink) error {
+	return runLitmus(newLitmusProgram(s), pr, plan, sink)
 }
 
 // MinimizeLitmus greedily deletes ops while fails still reports failure,
@@ -458,7 +471,7 @@ func Fuzz(n int, seed uint64, opt FuzzOptions) (*FuzzReport, error) {
 				rep.Runs++
 				prog := newLitmusProgram(spec)
 				prog.breakWrites = opt.breakWrites
-				err := runLitmus(prog, pr, plan)
+				err := runLitmus(prog, pr, plan, nil)
 				if err == nil {
 					continue
 				}
@@ -466,7 +479,7 @@ func Fuzz(n int, seed uint64, opt FuzzOptions) (*FuzzReport, error) {
 				min := MinimizeLitmus(spec, func(c *LitmusSpec) bool {
 					p2 := newLitmusProgram(c)
 					p2.breakWrites = opt.breakWrites
-					return runLitmus(p2, pr, plan) != nil
+					return runLitmus(p2, pr, plan, nil) != nil
 				})
 				fail.MinOps = len(min.Ops)
 				if opt.OutDir != "" {

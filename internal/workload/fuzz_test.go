@@ -98,7 +98,7 @@ func TestFuzzCanaryDetectsBrokenWrites(t *testing.T) {
 	brokenFails := func(s *LitmusSpec) bool {
 		p := newLitmusProgram(s)
 		p.breakWrites = true
-		return runLitmus(p, FuzzProtocols()[0], FuzzFaultPlans()[0]) != nil
+		return runLitmus(p, FuzzProtocols()[0], FuzzFaultPlans()[0], nil) != nil
 	}
 	if !brokenFails(min) {
 		t.Fatal("minimized spec does not reproduce the failure")

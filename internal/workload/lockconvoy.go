@@ -76,6 +76,8 @@ func (w *LockConvoy) Setup(m *machine.Machine) {
 }
 
 // Kernel implements Program.
+//
+//dsi:hotpath
 func (w *LockConvoy) Kernel(p *Proc) {
 	for i := 0; i < w.P.Acquisitions; i++ {
 		p.Lock(w.lk.Addr(0))

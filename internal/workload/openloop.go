@@ -114,6 +114,8 @@ func (w *OpenLoop) Setup(m *machine.Machine) {
 }
 
 // Kernel implements Program.
+//
+//dsi:hotpath
 func (w *OpenLoop) Kernel(p *Proc) {
 	lo, hi := span(w.P.WorkingSet, p.ID(), p.N())
 	for b := lo; b < hi; b++ {

@@ -84,6 +84,8 @@ func (w *ProdRing) slotWord(q, s, k int) int {
 }
 
 // Kernel implements Program.
+//
+//dsi:hotpath
 func (w *ProdRing) Kernel(p *Proc) {
 	q := p.ID()
 	for s := 0; s < w.P.Depth; s++ {

@@ -168,6 +168,8 @@ func (w *Zipf) Setup(m *machine.Machine) {
 }
 
 // Kernel implements Program.
+//
+//dsi:hotpath
 func (w *Zipf) Kernel(p *Proc) {
 	lo, hi := span(w.P.Blocks, p.ID(), p.N())
 	for j := lo; j < hi; j++ {
