@@ -10,6 +10,8 @@
 //	         [-blockstats workload] [-protocol label] [-cachebytes n]
 //	         [-faults spec]
 //	         [-fuzz N] [-fuzzseed S] [-fuzzout dir]
+//	         [-soak] [-soakcells N] [-soakdur d] [-soakseed S] [-soakjournal f]
+//	         [-resume] [-soakcorpus dir] [-soakworkers N]
 //	         [-transition-coverage] [-transition-model f] [-transition-litmus N]
 //
 // Output is plain text, one table per artifact, with execution times
@@ -41,10 +43,15 @@
 //
 //	go run ./cmd/dsibench -benchjson /tmp/bench.json -benchbaseline BENCH_kernel.json -procs 8
 //
-// -shard i/n (1-based) runs only the i-th of n round-robin slices of the
-// selected paper artifacts, so CI can fan the full suite out across jobs:
+// -shard i/n (1-based) runs only the i-th of n round-robin slices of
+// whatever grid is selected — paper artifacts for -experiment, campaign
+// cells for -soak — so CI can fan either suite out across jobs. Both modes
+// decide ownership with the same function (soak.Shard.Owns: shard i of n
+// owns every index congruent to i-1 mod n), so a sharded soak campaign and
+// a sharded artifact run slice their spaces identically:
 //
 //	go run ./cmd/dsibench -experiment all -shard 2/3
+//	go run ./cmd/dsibench -soak -shard 2/3 -soakjournal soak-2of3.jsonl
 //
 // -blockstats runs one workload with the coherence-event sink attached and
 // prints the per-block lifetime metrics (time-in-state histograms,
@@ -66,6 +73,19 @@
 //
 //	go run ./cmd/dsibench -fuzz 200 -fuzzseed 1
 //
+// -soak runs the fault-seed soak farm (internal/soak) instead of
+// experiments: the default campaign sweeps every paper and traffic workload
+// plus generated litmus programs under SC, V, and W+DSI across four fault
+// templates — 2040 cells — on a work-stealing runner. -soakcells and
+// -soakdur bound one sitting (unbounded by default); -soakjournal
+// checkpoints every verdict so -resume continues a killed campaign exactly
+// where it stopped (SIGINT/SIGTERM drain in-flight cells and flush a final
+// checkpoint first); -soakcorpus collects minimized replayable specs of
+// deterministic failures (replay with `dsisim -replay`). The exit status is
+// nonzero if any cell failed. The ISSUE 9 acceptance gate is:
+//
+//	go run ./cmd/dsibench -soak -soakjournal soak.jsonl -soakcorpus soak-failures
+//
 // -transition-coverage runs the runtime half of the protomodel cross-check:
 // paper workloads plus fuzzer litmus programs (clean and under fault
 // injection) with the coherence-event sink attached, folding every observed
@@ -82,15 +102,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
 	"dsisim"
 	"dsisim/internal/experiments"
+	"dsisim/internal/soak"
 	"dsisim/internal/workload"
 )
 
@@ -114,6 +137,14 @@ func main() {
 	fuzzN := flag.Int("fuzz", 0, "run N random litmus programs through every protocol x fault-plan combination instead of experiments")
 	fuzzSeed := flag.Uint64("fuzzseed", 1, "campaign seed for -fuzz")
 	fuzzOut := flag.String("fuzzout", "fuzz-failures", "directory for minimized replayable specs of -fuzz failures")
+	soakRun := flag.Bool("soak", false, "run the fault-seed soak campaign instead of experiments")
+	soakCells := flag.Int("soakcells", 0, "bound one -soak sitting to N cells (0 = all owned cells)")
+	soakDur := flag.Duration("soakdur", 0, "stop claiming new -soak cells after this long, e.g. 10m (0 = no bound)")
+	soakSeed := flag.Uint64("soakseed", 1, "campaign seed for -soak")
+	soakJournal := flag.String("soakjournal", "", "append-only JSONL checkpoint journal for -soak ('' = no checkpointing)")
+	soakResume := flag.Bool("resume", false, "resume the -soakjournal campaign, skipping journaled cells")
+	soakCorpus := flag.String("soakcorpus", "soak-failures", "directory for minimized replayable specs of -soak failures")
+	soakWorkers := flag.Int("soakworkers", 0, "work-stealing workers for -soak (0 = GOMAXPROCS)")
 	transCov := flag.Bool("transition-coverage", false, "cross-check runtime transitions against the static protocol model instead of running experiments")
 	transModel := flag.String("transition-model", "docs/protomodel.json", "static transition table for -transition-coverage")
 	transLitmus := flag.Int("transition-litmus", 8, "litmus programs per protocol x fault cell for -transition-coverage")
@@ -170,6 +201,29 @@ func main() {
 			fatal(err)
 		}
 		return
+	}
+
+	if *soakRun {
+		sh, err := soak.ParseShard(*shard)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runSoak(soakOptions{
+			cells:   *soakCells,
+			dur:     *soakDur,
+			seed:    *soakSeed,
+			journal: *soakJournal,
+			resume:  *soakResume,
+			corpus:  *soakCorpus,
+			workers: *soakWorkers,
+			shard:   sh,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *soakResume {
+		fatal(fmt.Errorf("-resume requires -soak"))
 	}
 
 	if *transCov {
@@ -267,22 +321,89 @@ func runFuzz(n int, seed uint64, outDir string) error {
 	return fmt.Errorf("%d failing litmus cells (specs in %s)", len(rep.Failures), outDir)
 }
 
-// shardSlice returns the i-th of n round-robin slices of names, parsing
-// spec as "i/n" with i in 1..n. Round-robin (not contiguous) so the shards
-// stay balanced when the artifact list is roughly sorted by cost.
+// shardSlice returns the shard's round-robin slice of names. Ownership is
+// decided by soak.Shard.Owns — the same function that slices soak campaign
+// cells — so every -shard fan-out in the tool partitions its index space
+// identically. Round-robin (not contiguous) so the shards stay balanced
+// when the artifact list is roughly sorted by cost.
 func shardSlice(names []string, spec string) ([]string, error) {
-	var i, n int
-	if c, err := fmt.Sscanf(spec, "%d/%d", &i, &n); err != nil || c != 2 {
-		return nil, fmt.Errorf("-shard %q: want i/n, e.g. 2/3", spec)
-	}
-	if n < 1 || i < 1 || i > n {
-		return nil, fmt.Errorf("-shard %q: want 1 <= i <= n", spec)
+	sh, err := soak.ParseShard(spec)
+	if err != nil {
+		return nil, fmt.Errorf("-shard %w", err)
 	}
 	var out []string
-	for k := i - 1; k < len(names); k += n {
-		out = append(out, names[k])
+	for k, name := range names {
+		if sh.Owns(k) {
+			out = append(out, name)
+		}
 	}
 	return out, nil
+}
+
+// soakOptions carries the -soak* flag values into runSoak.
+type soakOptions struct {
+	cells   int
+	dur     time.Duration
+	seed    uint64
+	journal string
+	resume  bool
+	corpus  string
+	workers int
+	shard   soak.Shard
+}
+
+// runSoak drives one sitting of the default soak campaign. SIGINT/SIGTERM
+// trigger a graceful drain: workers stop claiming cells, in-flight cells
+// finish and are journaled, and the final checkpoint is flushed, so a
+// Ctrl-C'd campaign resumes with -resume exactly where it stopped.
+func runSoak(o soakOptions) error {
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "dsibench: %v: draining in-flight soak cells (repeat to kill)\n", s)
+		close(stop)
+		signal.Stop(sigc)
+	}()
+	defer signal.Stop(sigc)
+
+	opts := soak.Options{
+		Seed:      o.seed,
+		Shard:     o.shard,
+		MaxCells:  o.cells,
+		Duration:  o.dur,
+		Workers:   o.workers,
+		Journal:   o.journal,
+		Resume:    o.resume,
+		Corpus:    o.corpus,
+		Stop:      stop,
+		Heartbeat: 10 * time.Second,
+		Log:       os.Stderr,
+	}
+	start := time.Now()
+	rep, err := soak.Run(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("soak: %d/%d owned cells verdicted (%d recovered, %d run this sitting, %d still pending), %d steals, %d triage reruns, %.1fs\n",
+		rep.Recovered+rep.Ran, rep.Owned, rep.Recovered, rep.Ran, rep.Drained,
+		rep.Steals, rep.Reruns, time.Since(start).Seconds())
+	fmt.Println(soak.Aggregate(rep.Verdicts).Render())
+	if rep.Failures == 0 {
+		return nil
+	}
+	for _, v := range rep.Verdicts {
+		if v.Status != soak.StatusFail {
+			continue
+		}
+		fmt.Printf("soak FAIL cell %d %s/%s/%s seed %016x [%s]: %s\n",
+			v.Cell, v.Workload, v.Protocol, v.Template, v.Seed, v.Class, v.Err)
+		if v.Spec != "" {
+			fmt.Printf("    replay: go run ./cmd/dsisim -replay %s\n", v.Spec)
+		}
+	}
+	return fmt.Errorf("%d failing soak cells", rep.Failures)
 }
 
 // benchCell is one tracked (workload, protocol) benchmark configuration.

@@ -7,10 +7,13 @@
 //	dsisim -workload em3d -protocol V [-procs 32] [-cache 262144] [-latency 100] [-test]
 //	dsisim -replay spec.json
 //
-// -replay loads a litmus spec persisted by the fuzzer (`dsibench -fuzz`,
-// internal/workload/fuzz.go) and re-runs it under every protocol ×
-// fault-plan combination, reporting each cell's verdict; the exit status is
-// nonzero if any cell fails.
+// -replay loads a persisted failure spec and re-runs it. Two formats are
+// accepted, distinguished by sniffing the JSON: a bare litmus spec from the
+// fuzzer (`dsibench -fuzz`, internal/workload/fuzz.go) is re-run under
+// every protocol × fault-plan combination, and a soak-farm spec
+// (`dsibench -soak`, internal/soak — marked by its "soak" version field)
+// is re-run exactly as its campaign cell ran: same workload, protocol,
+// fault plan, and seeds. The exit status is nonzero if any cell fails.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 
 	"dsisim"
 	"dsisim/internal/netsim"
+	"dsisim/internal/soak"
 	"dsisim/internal/stats"
 	"dsisim/internal/workload"
 )
@@ -34,7 +38,7 @@ func main() {
 	latency := flag.Int64("latency", 100, "network latency in cycles")
 	testScale := flag.Bool("test", false, "use tiny test-scale inputs")
 	faults := flag.String("faults", "", "fault-injection spec, e.g. drop=0.01,dup=0.005,seed=7 (see docs/FAULTS.md)")
-	replay := flag.String("replay", "", "replay a persisted litmus spec (from dsibench -fuzz) under every protocol x fault plan")
+	replay := flag.String("replay", "", "replay a persisted failure spec: a fuzzer litmus spec (every protocol x fault plan) or a soak-farm spec (its exact campaign cell)")
 	flag.Parse()
 
 	if *replay != "" {
@@ -131,9 +135,17 @@ func main() {
 	}
 }
 
-// runReplay re-runs a persisted litmus spec under the fuzzer's full
-// protocol × fault-plan matrix.
+// runReplay re-runs a persisted failure spec: soak-farm specs replay their
+// exact campaign cell; bare litmus specs sweep the fuzzer's full protocol ×
+// fault-plan matrix.
 func runReplay(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if soak.IsSpec(data) {
+		return runSoakReplay(path)
+	}
 	spec, err := workload.LoadLitmus(path)
 	if err != nil {
 		return err
@@ -164,5 +176,31 @@ func runReplay(path string) error {
 	if failures > 0 {
 		return fmt.Errorf("%d failing cells", failures)
 	}
+	return nil
+}
+
+// runSoakReplay re-runs one soak-farm spec exactly as its campaign cell ran.
+func runSoakReplay(path string) error {
+	spec, err := soak.LoadSpec(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("soak spec %s: %s under %s, template %s, seed %016x",
+		path, spec.Workload, spec.Protocol, spec.Template, spec.Seed)
+	if spec.Litmus != nil {
+		fmt.Printf(", %d litmus ops", len(spec.Litmus.Ops))
+	}
+	if spec.Faults != nil {
+		fmt.Printf(", %d fault rules", len(spec.Faults.Rules))
+	}
+	fmt.Println()
+	if spec.Err != "" {
+		fmt.Printf("  pinned failure: %s\n", spec.Err)
+	}
+	if err := spec.Replay(); err != nil {
+		fmt.Printf("FAIL %v\n", err)
+		return fmt.Errorf("soak spec still fails")
+	}
+	fmt.Println("ok   cell replays clean")
 	return nil
 }

@@ -8,7 +8,6 @@ package experiments
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"dsisim/internal/core"
@@ -17,6 +16,7 @@ import (
 	"dsisim/internal/machine"
 	"dsisim/internal/proto"
 	"dsisim/internal/stats"
+	"dsisim/internal/steal"
 	"dsisim/internal/workload"
 )
 
@@ -121,6 +121,13 @@ var machines machine.Pool
 
 // RunOne simulates one (workload, protocol) cell.
 func RunOne(name string, label Label, o Options) (machine.Result, error) {
+	return runOneIn(&machines, name, label, o)
+}
+
+// runOneIn is RunOne against a caller-owned machine pool. RunMatrix gives
+// each work-stealing worker its own pool so cell turnover never contends on
+// a shared free list and every worker reuses its own still-warm machine.
+func runOneIn(pool *machine.Pool, name string, label Label, o Options) (machine.Result, error) {
 	o = o.defaults()
 	prog, err := workload.New(name, o.Scale)
 	if err != nil {
@@ -136,9 +143,9 @@ func RunOne(name string, label Label, o Options) (machine.Result, error) {
 		Policy:         pol,
 		Faults:         o.Faults,
 	}
-	m := machines.Get(cfg)
+	m := pool.Get(cfg)
 	res := m.Run(prog)
-	machines.Put(m)
+	pool.Put(m)
 	if res.Failed() {
 		return res, fmt.Errorf("%s/%s (%v, %d-cycle net): %s", name, label, o.Class, o.Latency, res.Errors[0])
 	}
@@ -155,11 +162,16 @@ type Matrix struct {
 
 // RunMatrix simulates the full grid. Cells are independent simulations
 // (each builds its own machine and workload instance), so they run
-// concurrently, capped at GOMAXPROCS in-flight cells by a counting
-// semaphore; each cell remains bit-deterministic, and the grid's results
-// are independent of completion order (each cell writes only its own
-// slot). For parallelism inside a single cell, set Config.Workers >= 2 on
-// the machine instead (the deterministic parallel delivery engine).
+// concurrently on a work-stealing runner (internal/steal): the grid is
+// split into contiguous chunks, one per worker, and a worker that drains
+// its chunk steals half of a loaded victim's remainder — so a few slow
+// cells (large workload × expensive protocol) no longer serialize the tail
+// the way the old flat semaphore did. Each worker owns a private machine
+// pool, so machine reuse never contends across workers. Each cell remains
+// bit-deterministic, and the grid's results are independent of completion
+// order (each cell writes only its own slot). For parallelism inside a
+// single cell, set Config.Workers >= 2 on the machine instead (the
+// deterministic parallel delivery engine).
 func RunMatrix(workloads []string, labels []Label, o Options) (*Matrix, error) {
 	o = o.defaults()
 	m := &Matrix{Opt: o, Workloads: workloads, Labels: labels,
@@ -180,24 +192,17 @@ func RunMatrix(workloads []string, labels []Label, o Options) (*Matrix, error) {
 	var (
 		mu   sync.Mutex
 		errs = make([]error, len(todo)) // one slot per cell, in grid order
-		wg   sync.WaitGroup
 	)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, c := range todo {
-		i, c := i, c
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := RunOne(c.w, c.l, o)
-			mu.Lock()
-			defer mu.Unlock()
-			errs[i] = err
-			m.cells[c.w][c.l] = res
-		}()
-	}
-	wg.Wait()
+	runner := steal.New(len(todo), 0)
+	pools := make([]machine.Pool, runner.Workers())
+	runner.Run(func(worker, i int) {
+		c := todo[i]
+		res, err := runOneIn(&pools[worker], c.w, c.l, o)
+		mu.Lock()
+		defer mu.Unlock()
+		errs[i] = err
+		m.cells[c.w][c.l] = res
+	})
 	// Report every failed cell, not just the first: a grid-wide pathology
 	// (one workload failing under every protocol, say) should be visible in
 	// one error. The matrix is still returned so callers can render the

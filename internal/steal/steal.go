@@ -1,0 +1,179 @@
+// Package steal implements the work-stealing fan-out runner shared by the
+// experiment grids (experiments.RunMatrix) and the soak campaign engine
+// (internal/soak). Items are whole, independent simulations — milliseconds
+// to seconds each — so the runner optimizes for balance under wildly uneven
+// item costs rather than for per-item dispatch overhead: each worker owns a
+// deque of contiguous index spans and pops items from its top span; a
+// worker that runs dry steals half of a victim's largest remaining span in
+// one lock acquisition (chunked stealing), so a worker stuck behind one
+// expensive cell sheds the rest of its backlog to idle peers.
+//
+// Workers are identified by a dense id passed to every callback, which is
+// what lets callers keep per-worker state — one machine.Pool per worker, so
+// pooled machines are recycled without cross-worker contention — without
+// any locking of their own.
+//
+// The runner makes no ordering promises: callers must key results by item
+// index (every caller here writes into a pre-sized slot array or an
+// append-only journal keyed by cell index). This package is deliberately
+// not in determinism.DefaultSimPackages — it is driver-side orchestration;
+// each item's simulation remains internally single-threaded and
+// bit-deterministic.
+package steal
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// span is a half-open range [lo, hi) of item indices.
+type span struct{ lo, hi int }
+
+// deque is one worker's stack of spans. The owner pops single items from
+// the top span's front; thieves split the bottom (largest, least recently
+// touched) span in half. Both sides take the mutex — items are whole
+// simulations, so a lock per item is noise.
+type deque struct {
+	mu    sync.Mutex
+	spans []span
+}
+
+// Runner fans the items [0, n) out across a fixed set of workers.
+type Runner struct {
+	n       int
+	deques  []deque
+	steals  atomic.Int64
+	stolen  atomic.Int64
+	started atomic.Bool
+}
+
+// New builds a runner for n items and the given worker count. workers <= 0
+// selects GOMAXPROCS; the count is clamped to n (but at least 1) so no
+// worker starts empty-handed.
+func New(n, workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r := &Runner{n: n, deques: make([]deque, workers)}
+	// Initial distribution: one contiguous chunk per worker. Contiguity is
+	// what makes chunked stealing meaningful — a stolen half-span is itself
+	// a contiguous run of items.
+	for w := range r.deques {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo < hi {
+			r.deques[w].spans = append(r.deques[w].spans, span{lo, hi})
+		}
+	}
+	return r
+}
+
+// Workers returns the effective worker count.
+func (r *Runner) Workers() int { return len(r.deques) }
+
+// Steals returns how many steal operations have landed so far (live; safe
+// to read concurrently with Run, e.g. from a progress heartbeat).
+func (r *Runner) Steals() int64 { return r.steals.Load() }
+
+// Stolen returns how many items have changed owner via steals so far.
+func (r *Runner) Stolen() int64 { return r.stolen.Load() }
+
+// Run executes fn(worker, item) for every item in [0, n), fanning out
+// across the runner's workers, and blocks until all items are done. fn is
+// called at most once per item, concurrently across workers but serially
+// within one worker. Run may be called only once per Runner.
+func (r *Runner) Run(fn func(worker, item int)) {
+	if r.started.Swap(true) {
+		panic("steal: Runner.Run called twice")
+	}
+	if r.n == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for w := range r.deques {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				item, ok := r.pop(w)
+				if !ok {
+					item, ok = r.steal(w)
+				}
+				if !ok {
+					return
+				}
+				fn(w, item)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// pop takes the next item from worker w's own deque: the front of the top
+// span, so a worker burns through its newest (smallest, stolen-last) work
+// first and leaves its big bottom span exposed to thieves.
+func (r *Runner) pop(w int) (int, bool) {
+	d := &r.deques[w]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.spans) > 0 {
+		top := &d.spans[len(d.spans)-1]
+		if top.lo < top.hi {
+			item := top.lo
+			top.lo++
+			if top.lo == top.hi {
+				d.spans = d.spans[:len(d.spans)-1]
+			}
+			return item, true
+		}
+		d.spans = d.spans[:len(d.spans)-1]
+	}
+	return 0, false
+}
+
+// steal scans the other workers round-robin from w and takes the upper half
+// of the first victim span it finds (the whole span when it holds a single
+// item). A full scan that comes back empty means every deque is drained —
+// the only remaining items are the ones currently executing, which cannot
+// be stolen — so the caller can exit.
+func (r *Runner) steal(w int) (int, bool) {
+	n := len(r.deques)
+	for off := 1; off < n; off++ {
+		v := &r.deques[(w+off)%n]
+		v.mu.Lock()
+		for i := range v.spans {
+			s := &v.spans[i]
+			if s.lo >= s.hi {
+				continue
+			}
+			mid := s.lo + (s.hi-s.lo)/2
+			got := span{mid, s.hi}
+			if mid == s.lo { // single item: take the whole span
+				got = span{s.lo, s.hi}
+				s.hi = s.lo
+			} else {
+				s.hi = mid
+			}
+			v.mu.Unlock()
+			r.steals.Add(1)
+			r.stolen.Add(int64(got.hi - got.lo))
+			d := &r.deques[w]
+			d.mu.Lock()
+			item := got.lo
+			got.lo++
+			if got.lo < got.hi {
+				d.spans = append(d.spans, got)
+			}
+			d.mu.Unlock()
+			return item, true
+		}
+		v.mu.Unlock()
+	}
+	return 0, false
+}

@@ -1,0 +1,111 @@
+package steal
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Every item runs exactly once, for assorted item/worker shapes including
+// workers > items and a single worker.
+func TestRunCoversEveryItemOnce(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {7, 1}, {7, 3}, {100, 4}, {1000, 8}, {5, 16},
+	} {
+		r := New(tc.n, tc.workers)
+		counts := make([]int32, tc.n)
+		r.Run(func(w, item int) {
+			if w < 0 || w >= r.Workers() {
+				t.Errorf("n=%d workers=%d: worker id %d out of range", tc.n, tc.workers, w)
+			}
+			atomic.AddInt32(&counts[item], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d workers=%d: item %d ran %d times", tc.n, tc.workers, i, c)
+			}
+		}
+	}
+}
+
+// A worker id is never used by two goroutines at once: per-worker state
+// (the per-worker machine.Pool in the callers) needs no locking.
+func TestWorkerIDsAreExclusive(t *testing.T) {
+	r := New(500, 8)
+	busy := make([]atomic.Bool, r.Workers())
+	r.Run(func(w, item int) {
+		if busy[w].Swap(true) {
+			t.Errorf("worker %d entered concurrently", w)
+		}
+		busy[w].Store(false)
+	})
+}
+
+// One expensive item must not serialize the rest of its owner's chunk:
+// with 2 workers and one item that blocks until everything else is done,
+// the other worker steals the stuck worker's backlog and finishes it.
+func TestStealsDrainStuckWorkersBacklog(t *testing.T) {
+	const n = 64
+	r := New(n, 2)
+	var done atomic.Int32
+	release := make(chan struct{})
+	var once sync.Once
+	finish := func() {
+		if done.Add(1) == n-1 {
+			once.Do(func() { close(release) })
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.Run(func(w, item int) {
+			if item == 0 {
+				// Item 0 is worker 0's first pop; it blocks until every
+				// other item — most of them initially worker 0's — is done.
+				select {
+				case <-release:
+				case <-time.After(10 * time.Second):
+					t.Error("deadlock: backlog was never stolen")
+				}
+				return
+			}
+			finish()
+		})
+	}()
+	wg.Wait()
+	if got := done.Load(); got != n-1 {
+		t.Fatalf("finished %d of %d unblocked items", got, n-1)
+	}
+	if r.Steals() == 0 || r.Stolen() == 0 {
+		t.Fatalf("expected steals, got %d steals / %d items", r.Steals(), r.Stolen())
+	}
+}
+
+// Worker-count clamping: <= 0 selects GOMAXPROCS, and the count never
+// exceeds the item count.
+func TestWorkerClamping(t *testing.T) {
+	if got, want := New(100, 0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := New(3, 8).Workers(); got != 3 {
+		t.Fatalf("workers clamped to %d, want 3", got)
+	}
+	if got := New(0, 8).Workers(); got != 1 {
+		t.Fatalf("empty runner has %d workers, want 1", got)
+	}
+}
+
+// Run panics when called twice: the deques are consumed.
+func TestRunTwicePanics(t *testing.T) {
+	r := New(4, 2)
+	r.Run(func(w, item int) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Run did not panic")
+		}
+	}()
+	r.Run(func(w, item int) {})
+}

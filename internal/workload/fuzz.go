@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 
@@ -326,9 +327,9 @@ func FuzzFaultPlans() []FuzzFaultPlan {
 }
 
 // runLitmus executes the spec under one protocol × fault-plan cell and
-// returns the first failure: a kernel assert or audit error recorded in the
-// machine result, or an outcome cross-check mismatch.
-func runLitmus(prog *litmusProgram, pr FuzzProtocol, plan FuzzFaultPlan, sink *obs.Sink) error {
+// returns the machine result plus the first failure: a kernel assert or
+// audit error recorded in the result, or an outcome cross-check mismatch.
+func runLitmus(prog *litmusProgram, pr FuzzProtocol, plan FuzzFaultPlan, sink *obs.Sink) (machine.Result, error) {
 	cfg := machine.Config{
 		Processors:  prog.spec.Procs,
 		Consistency: pr.Consistency,
@@ -343,21 +344,48 @@ func runLitmus(prog *litmusProgram, pr FuzzProtocol, plan FuzzFaultPlan, sink *o
 	}
 	res := machine.New(cfg).Run(prog)
 	if res.Failed() {
-		return fmt.Errorf("%s/%s: %s", pr.Name, plan.Name, res.Errors[0])
+		return res, fmt.Errorf("%s/%s: %s", pr.Name, plan.Name, res.Errors[0])
 	}
-	return check.CrossCheckOutcomes("block", prog.got, prog.ref.final)
+	return res, check.CrossCheckOutcomes("block", prog.got, prog.ref.final)
 }
 
 // RunLitmus executes the spec under one protocol × fault-plan cell.
 func RunLitmus(s *LitmusSpec, pr FuzzProtocol, plan FuzzFaultPlan) error {
-	return runLitmus(newLitmusProgram(s), pr, plan, nil)
+	_, err := runLitmus(newLitmusProgram(s), pr, plan, nil)
+	return err
 }
 
 // RunLitmusObserved is RunLitmus with a coherence-event sink attached, for
 // consumers that need the run's event stream (the protomodel transition-
 // coverage cross-check folds it against the static transition table).
 func RunLitmusObserved(s *LitmusSpec, pr FuzzProtocol, plan FuzzFaultPlan, sink *obs.Sink) error {
-	return runLitmus(newLitmusProgram(s), pr, plan, sink)
+	_, err := runLitmus(newLitmusProgram(s), pr, plan, sink)
+	return err
+}
+
+// LitmusRun bundles the optional knobs of one litmus execution beyond the
+// spec itself.
+type LitmusRun struct {
+	// Canary enables the broken-protocol write-dropping canary: the executed
+	// kernel silently loses writes to block 0 while the reference model keeps
+	// them, so the outcome cross-check must fail. It exists so detection
+	// pipelines (the fuzzer's and the soak farm's) can prove, in tests, that
+	// a real protocol bug would be caught, minimized, and persisted.
+	Canary bool
+	// Sink, if set, receives the run's coherence-event stream.
+	Sink *obs.Sink
+}
+
+// RunLitmusOpts executes the spec under one protocol × fault-plan cell with
+// the extra knobs of o, returning the kernel's event count and simulated
+// cycles alongside the verdict. Both extras are deterministic per cell —
+// the soak engine records them in its journal, where every byte must be
+// reproducible across a kill/resume.
+func RunLitmusOpts(s *LitmusSpec, pr FuzzProtocol, plan FuzzFaultPlan, o LitmusRun) (events uint64, cycles int64, err error) {
+	prog := newLitmusProgram(s)
+	prog.breakWrites = o.Canary
+	res, err := runLitmus(prog, pr, plan, o.Sink)
+	return res.Kernel.Events, int64(res.TotalTime), err
 }
 
 // MinimizeLitmus greedily deletes ops while fails still reports failure,
@@ -379,6 +407,84 @@ func MinimizeLitmus(s *LitmusSpec, fails func(*LitmusSpec) bool) *LitmusSpec {
 		}
 	}
 	return &cur
+}
+
+// MinimizeFaultConfig greedily shrinks a failing fault plan while fails
+// still reports failure: scripted rules are dropped one at a time to a
+// fixpoint, then each probabilistic knob (drop, dup, delay, the per-kind
+// and per-link overrides) is zeroed if the failure survives without it.
+// The returned config still fails, but removing any single rule — or any
+// one remaining knob — no longer does. A nil config (fault-free cell)
+// returns nil: there is nothing to shrink.
+func MinimizeFaultConfig(fc *faultinj.Config, fails func(*faultinj.Config) bool) *faultinj.Config {
+	if fc == nil {
+		return nil
+	}
+	cur := *fc
+	cur.Rules = append([]faultinj.Rule(nil), fc.Rules...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur.Rules); i++ {
+			cand := cur
+			cand.Rules = append(append([]faultinj.Rule(nil), cur.Rules[:i]...), cur.Rules[i+1:]...)
+			if fails(&cand) {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	try := func(mutate func(*faultinj.Config)) {
+		cand := cur
+		mutate(&cand)
+		if fails(&cand) {
+			cur = cand
+		}
+	}
+	if cur.Drop != 0 {
+		try(func(c *faultinj.Config) { c.Drop = 0 })
+	}
+	if cur.Dup != 0 {
+		try(func(c *faultinj.Config) { c.Dup = 0 })
+	}
+	if cur.Delay != 0 {
+		try(func(c *faultinj.Config) { c.Delay = 0 })
+	}
+	if cur.DropByKind != nil {
+		try(func(c *faultinj.Config) { c.DropByKind = nil })
+	}
+	if cur.DropByLink != nil {
+		try(func(c *faultinj.Config) { c.DropByLink = nil })
+	}
+	return &cur
+}
+
+// MinimizeLitmusFaults jointly shrinks a failing (spec, fault plan) pair to
+// a replayable repro. Fault-plan rules are dropped before ops: a scripted
+// rule counts occurrences of a message shape, so a superfluous rule can pin
+// ops in place — deleting an op shifts the occurrence stream, the rule
+// stops firing, the failure vanishes, and op-deletion keeps the op. With
+// the noise rules gone first, op-deletion shrinks further (the minimizer
+// test pins a case where rules-first finds a strictly smaller repro than
+// op-deletion alone). The two passes alternate to a joint fixpoint. fc may
+// be nil for a fault-free cell; the returned pair still fails.
+func MinimizeLitmusFaults(s *LitmusSpec, fc *faultinj.Config, fails func(*LitmusSpec, *faultinj.Config) bool) (*LitmusSpec, *faultinj.Config) {
+	curS := s
+	curF := fc
+	for changed := true; changed; {
+		changed = false
+		nf := MinimizeFaultConfig(curF, func(c *faultinj.Config) bool { return fails(curS, c) })
+		if !reflect.DeepEqual(nf, curF) {
+			curF = nf
+			changed = true
+		}
+		ns := MinimizeLitmus(curS, func(c *LitmusSpec) bool { return fails(c, curF) })
+		if len(ns.Ops) != len(curS.Ops) {
+			changed = true
+		}
+		curS = ns
+	}
+	return curS, curF
 }
 
 // SaveLitmus persists a replayable spec as JSON.
@@ -471,7 +577,7 @@ func Fuzz(n int, seed uint64, opt FuzzOptions) (*FuzzReport, error) {
 				rep.Runs++
 				prog := newLitmusProgram(spec)
 				prog.breakWrites = opt.breakWrites
-				err := runLitmus(prog, pr, plan, nil)
+				_, err := runLitmus(prog, pr, plan, nil)
 				if err == nil {
 					continue
 				}
@@ -479,7 +585,8 @@ func Fuzz(n int, seed uint64, opt FuzzOptions) (*FuzzReport, error) {
 				min := MinimizeLitmus(spec, func(c *LitmusSpec) bool {
 					p2 := newLitmusProgram(c)
 					p2.breakWrites = opt.breakWrites
-					return runLitmus(p2, pr, plan, nil) != nil
+					_, ferr := runLitmus(p2, pr, plan, nil)
+					return ferr != nil
 				})
 				fail.MinOps = len(min.Ops)
 				if opt.OutDir != "" {

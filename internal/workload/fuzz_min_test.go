@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"dsisim/internal/faultinj"
+)
+
+// minSpec builds the fixture shared by the fault-aware minimizer tests:
+// five ops (one write to block 0 among reads) and a two-rule fault plan —
+// the "real" rule the failure needs and a noise rule that merely counts
+// occurrences.
+func minSpec() (*LitmusSpec, *faultinj.Config) {
+	s := &LitmusSpec{
+		Seed: 0xabc, Procs: 2, Blocks: 2, Rounds: 1,
+		Ops: []LitmusOp{
+			{Proc: 0, Round: 0, Kind: LitmusRead, Block: 1},
+			{Proc: 0, Round: 0, Kind: LitmusWrite, Block: 0, Value: 1},
+			{Proc: 1, Round: 0, Kind: LitmusRead, Block: 0},
+			{Proc: 1, Round: 0, Kind: LitmusRead, Block: 1},
+			{Proc: 1, Round: 0, Kind: LitmusLockInc},
+		},
+	}
+	fc := &faultinj.Config{Rules: []faultinj.Rule{
+		{Kind: 7, Src: -1, Dst: -1, Nth: 1, Action: faultinj.Drop},  // the culprit
+		{Kind: 9, Src: -1, Dst: -1, Nth: 3, Action: faultinj.Delay}, // noise
+	}}
+	return s, fc
+}
+
+// minFails is a synthetic failure oracle modeling how a superfluous
+// scripted rule pins ops in place: the failure needs the kind-7 drop rule
+// plus the write to block 0, but while the kind-9 noise rule is present its
+// occurrence counting also demands at least 4 ops — deleting ops below that
+// makes the rule stop firing and the failure vanish.
+func minFails(s *LitmusSpec, fc *faultinj.Config) bool {
+	culprit, noise := false, false
+	if fc != nil {
+		for _, r := range fc.Rules {
+			if r.Kind == 7 && r.Action == faultinj.Drop {
+				culprit = true
+			}
+			if r.Kind == 9 {
+				noise = true
+			}
+		}
+	}
+	writes := 0
+	for _, op := range s.Ops {
+		if op.Kind == LitmusWrite && op.Block == 0 {
+			writes++
+		}
+	}
+	if !culprit || writes == 0 {
+		return false
+	}
+	return !noise || len(s.Ops) >= 4
+}
+
+// Dropping fault-plan rules before ops reaches a strictly smaller repro
+// than op-deletion alone: with the noise rule still installed, op-deletion
+// bottoms out at 4 ops; rules-first shrinks the plan to the single culprit
+// rule and then op-deletion reaches the lone write.
+func TestMinimizeLitmusFaultsBeatsOpDeletionAlone(t *testing.T) {
+	spec, fc := minSpec()
+	if !minFails(spec, fc) {
+		t.Fatal("fixture does not fail")
+	}
+
+	opOnly := MinimizeLitmus(spec, func(c *LitmusSpec) bool { return minFails(c, fc) })
+	if len(opOnly.Ops) != 4 {
+		t.Fatalf("op-deletion alone minimized to %d ops, fixture expects it stuck at 4", len(opOnly.Ops))
+	}
+
+	minS, minF := MinimizeLitmusFaults(spec, fc, minFails)
+	if !minFails(minS, minF) {
+		t.Fatal("minimized pair no longer fails")
+	}
+	if len(minF.Rules) != 1 || minF.Rules[0].Kind != 7 {
+		t.Fatalf("rules not minimized to the culprit: %+v", minF.Rules)
+	}
+	if len(minS.Ops) != 1 || minS.Ops[0].Kind != LitmusWrite {
+		t.Fatalf("ops not minimized to the lone write: %+v", minS.Ops)
+	}
+	if len(minS.Ops) >= len(opOnly.Ops) {
+		t.Fatalf("rules-first repro (%d ops) not smaller than op-deletion alone (%d ops)",
+			len(minS.Ops), len(opOnly.Ops))
+	}
+}
+
+// The probabilistic knobs are zeroed when the failure survives without
+// them, and a nil config passes through untouched.
+func TestMinimizeFaultConfigKnobsAndNil(t *testing.T) {
+	fc := &faultinj.Config{
+		Drop: 0.1, Dup: 0.05, Delay: 0.2,
+		DropByKind: map[int]float64{3: 0.5},
+		Rules:      []faultinj.Rule{{Kind: 7, Src: -1, Dst: -1, Action: faultinj.Drop}},
+	}
+	// Failure needs only the rule.
+	min := MinimizeFaultConfig(fc, func(c *faultinj.Config) bool {
+		for _, r := range c.Rules {
+			if r.Kind == 7 {
+				return true
+			}
+		}
+		return false
+	})
+	if min.Drop != 0 || min.Dup != 0 || min.Delay != 0 || min.DropByKind != nil {
+		t.Fatalf("probabilistic knobs survived minimization: %+v", min)
+	}
+	if len(min.Rules) != 1 {
+		t.Fatalf("culprit rule dropped: %+v", min.Rules)
+	}
+	// The original config is not mutated.
+	if fc.Drop != 0.1 || len(fc.Rules) != 1 || fc.DropByKind == nil {
+		t.Fatalf("input config mutated: %+v", fc)
+	}
+	if got := MinimizeFaultConfig(nil, func(*faultinj.Config) bool { return true }); got != nil {
+		t.Fatalf("nil config minimized to %+v", got)
+	}
+}
+
+// MinimizeLitmusFaults with a fault-insensitive oracle degenerates to
+// MinimizeLitmus: same minimized ops, config untouched.
+func TestMinimizeLitmusFaultsFaultFree(t *testing.T) {
+	spec := GenLitmus(99)
+	hasWrite := func(s *LitmusSpec) bool {
+		for _, op := range s.Ops {
+			if op.Kind == LitmusWrite {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasWrite(spec) {
+		t.Skip("seed produced no writes")
+	}
+	want := MinimizeLitmus(spec, hasWrite)
+	got, gotF := MinimizeLitmusFaults(spec, nil, func(s *LitmusSpec, _ *faultinj.Config) bool { return hasWrite(s) })
+	if gotF != nil {
+		t.Fatalf("nil config grew rules: %+v", gotF)
+	}
+	if !reflect.DeepEqual(got.Ops, want.Ops) {
+		t.Fatalf("fault-free joint minimization diverged:\n%+v\n%+v", got.Ops, want.Ops)
+	}
+}

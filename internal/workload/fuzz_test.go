@@ -98,7 +98,8 @@ func TestFuzzCanaryDetectsBrokenWrites(t *testing.T) {
 	brokenFails := func(s *LitmusSpec) bool {
 		p := newLitmusProgram(s)
 		p.breakWrites = true
-		return runLitmus(p, FuzzProtocols()[0], FuzzFaultPlans()[0], nil) != nil
+		_, rerr := runLitmus(p, FuzzProtocols()[0], FuzzFaultPlans()[0], nil)
+		return rerr != nil
 	}
 	if !brokenFails(min) {
 		t.Fatal("minimized spec does not reproduce the failure")
