@@ -352,3 +352,50 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.ReportMetric(float64(res.TotalTime), "simcycles")
 	}
 }
+
+// campaignMix builds the zipf-popular request stream that
+// BenchmarkCampaignThroughput and TestCampaignCacheSpeedup share: requests
+// spread over distinct cells with harmonic (zipf, s=1) popularity — cell k
+// is asked for 1/(k+1) as often as cell 0. That is the shape of a campaign
+// revisiting its hot configurations: a few cells dominate the stream, the
+// tail stays unique. Cells differ only by seed, so every request is a full
+// simulation when uncached.
+func campaignMix(cells, requests int) []Config {
+	h := 0.0
+	for k := 0; k < cells; k++ {
+		h += 1 / float64(k+1)
+	}
+	var mix []Config
+	for k := 0; k < cells; k++ {
+		n := int(float64(requests) / (h * float64(k+1)))
+		if n < 1 {
+			n = 1
+		}
+		cfg := Config{Workload: "zipf", Protocol: V, Processors: 8, Scale: ScaleTest, Seed: uint64(k)<<1 | 1}
+		for i := 0; i < n; i++ {
+			mix = append(mix, cfg)
+		}
+	}
+	return mix
+}
+
+// BenchmarkCampaignThroughput measures campaign request throughput over the
+// zipf-popular mix, with and without the content-addressed result cache.
+// The cached variant holds one cache across all iterations — repeated cells
+// are free; the uncached variant simulates every request.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	mix := campaignMix(6, 90)
+	run := func(b *testing.B, cache *ResultCache) {
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range mix {
+				cfg.Cache = cache
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(mix)*b.N)/b.Elapsed().Seconds(), "requests/s")
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, nil) })
+	b.Run("cached", func(b *testing.B) { run(b, NewResultCache(256<<20)) })
+}

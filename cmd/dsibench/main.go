@@ -4,7 +4,7 @@
 // Usage:
 //
 //	dsibench [-experiment all|tab1|fig3|fig4|fig5|tab2|tab3|sweep|traffic] [-procs N] [-test]
-//	         [-shard i/n]
+//	         [-shard i/n] [-cache] [-cachemb N]
 //	         [-cpuprofile f] [-memprofile f] [-trace f]
 //	         [-benchjson f] [-benchcells list] [-benchbaseline f] [-benchmaxregress frac]
 //	         [-blockstats workload] [-protocol label] [-cachebytes n]
@@ -19,6 +19,15 @@
 // paper scale to take several minutes: it simulates a 32-processor machine
 // across ~60 configurations.
 //
+// -cache memoizes cell results in a content-addressed cache shared across
+// the whole run (budget -cachemb MiB, default 256): paper artifacts that
+// revisit a configuration another figure already simulated — and soak
+// campaigns re-run over the same seeds — are served bit-identical results
+// from memory. The simulator is deterministic, so a hit is observationally
+// indistinguishable from a re-run; cache counters are printed at the end.
+// The flag applies to artifact and -soak modes, never to -benchjson, which
+// exists to measure real simulations.
+//
 // The profiling flags wrap whichever mode runs: -cpuprofile and -memprofile
 // write pprof profiles, -trace writes a runtime execution trace. They make
 // the simulator's own hot path measurable (`go tool pprof`, `go tool
@@ -29,9 +38,10 @@
 // writing a benchstat-comparable summary — ns/op, allocs/op, events/sec —
 // as a JSON array, one element per cell. -benchcells picks the cells as
 // comma-separated workload:protocol pairs; the default tracks em3d under V
-// (the invalidation hot path) and ocean under W+DSI (the tear-off/DSI hot
-// path). The repository keeps the current numbers in BENCH_kernel.json;
-// regenerate with:
+// (the invalidation hot path), ocean under W+DSI (the tear-off/DSI hot
+// path), and zipf under V (the skewed-popularity traffic mix the campaign
+// cache is benchmarked on). The repository keeps the current numbers in
+// BENCH_kernel.json; regenerate with:
 //
 //	go run ./cmd/dsibench -benchjson BENCH_kernel.json -procs 8
 //
@@ -125,7 +135,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	benchjson := flag.String("benchjson", "", "benchmark the simulation kernel and write a JSON summary to this file instead of running experiments")
-	benchCells := flag.String("benchcells", "em3d:V,ocean:W+DSI", "tracked cells for -benchjson, comma-separated workload:protocol pairs")
+	benchCells := flag.String("benchcells", "em3d:V,ocean:W+DSI,zipf:V", "tracked cells for -benchjson, comma-separated workload:protocol pairs")
 	benchScale := flag.Bool("benchpaper", false, "run -benchjson at paper scale instead of test scale")
 	benchBaseline := flag.String("benchbaseline", "", "compare the -benchjson measurement against this committed baseline and fail on regression")
 	benchMaxRegress := flag.Float64("benchmaxregress", 0.20, "tolerated fractional ns/op regression for -benchbaseline")
@@ -148,7 +158,14 @@ func main() {
 	transCov := flag.Bool("transition-coverage", false, "cross-check runtime transitions against the static protocol model instead of running experiments")
 	transModel := flag.String("transition-model", "docs/protomodel.json", "static transition table for -transition-coverage")
 	transLitmus := flag.Int("transition-litmus", 8, "litmus programs per protocol x fault cell for -transition-coverage")
+	useCache := flag.Bool("cache", false, "memoize cell results in a content-addressed cache shared across the run (paper artifacts and -soak)")
+	cacheMB := flag.Int64("cachemb", 256, "result-cache budget in MiB (with -cache)")
 	flag.Parse()
+
+	var cache *dsisim.ResultCache
+	if *useCache {
+		cache = dsisim.NewResultCache(*cacheMB << 20)
+	}
 
 	var faults *dsisim.FaultConfig
 	if *faultSpec != "" {
@@ -217,6 +234,7 @@ func main() {
 			corpus:  *soakCorpus,
 			workers: *soakWorkers,
 			shard:   sh,
+			cache:   cache,
 		}); err != nil {
 			fatal(err)
 		}
@@ -264,7 +282,7 @@ func main() {
 		fatal(fmt.Errorf("-faults applies to -benchjson and -blockstats runs, not paper artifacts"))
 	}
 
-	o := experiments.Options{Processors: *procs}
+	o := experiments.Options{Processors: *procs, Cache: cache}
 	if *testScale {
 		o.Scale = workload.ScaleTest
 	}
@@ -288,6 +306,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+	if cache != nil {
+		fmt.Println(cache.Stats().Table().Render())
 	}
 }
 
@@ -350,6 +371,7 @@ type soakOptions struct {
 	corpus  string
 	workers int
 	shard   soak.Shard
+	cache   *dsisim.ResultCache
 }
 
 // runSoak drives one sitting of the default soak campaign. SIGINT/SIGTERM
@@ -370,6 +392,7 @@ func runSoak(o soakOptions) error {
 
 	opts := soak.Options{
 		Seed:      o.seed,
+		Cache:     o.cache,
 		Shard:     o.shard,
 		MaxCells:  o.cells,
 		Duration:  o.dur,
@@ -390,6 +413,9 @@ func runSoak(o soakOptions) error {
 		rep.Recovered+rep.Ran, rep.Owned, rep.Recovered, rep.Ran, rep.Drained,
 		rep.Steals, rep.Reruns, time.Since(start).Seconds())
 	fmt.Println(soak.Aggregate(rep.Verdicts).Render())
+	if o.cache != nil {
+		fmt.Println(o.cache.Stats().Table().Render())
+	}
 	if rep.Failures == 0 {
 		return nil
 	}

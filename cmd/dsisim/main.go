@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	dsisim -workload em3d -protocol V [-procs 32] [-cache 262144] [-latency 100] [-test]
+//	dsisim -workload em3d -protocol V [-procs 32] [-cachebytes 262144] [-latency 100] [-test]
 //	dsisim -replay spec.json
+//
+// -cache runs the cell twice through a content-addressed result cache
+// (budget -cachemb): once computed, once memoized. The two results must be
+// bit-identical — the command fails otherwise — and the cache counters are
+// printed, making the flag a quick self-check of the memoization layer.
 //
 // -replay loads a persisted failure spec and re-runs it. Two formats are
 // accepted, distinguished by sniffing the JSON: a bare litmus spec from the
@@ -20,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"sort"
 	"strings"
 
@@ -34,7 +40,9 @@ func main() {
 	wl := flag.String("workload", "em3d", "workload: "+strings.Join(dsisim.Workloads(), " "))
 	protoLabel := flag.String("protocol", "SC", "protocol: SC W S V V-FIFO S-FIFO W+DSI W+DSI-S")
 	procs := flag.Int("procs", 32, "simulated processors")
-	cacheBytes := flag.Int("cache", 256*1024, "cache size per node in bytes")
+	cacheBytes := flag.Int("cachebytes", 256*1024, "simulated cache size per node in bytes")
+	useCache := flag.Bool("cache", false, "memoize through a content-addressed result cache and verify the hit is bit-identical")
+	cacheMB := flag.Int64("cachemb", 256, "result-cache budget in MiB (with -cache)")
 	latency := flag.Int64("latency", 100, "network latency in cycles")
 	testScale := flag.Bool("test", false, "use tiny test-scale inputs")
 	faults := flag.String("faults", "", "fault-injection spec, e.g. drop=0.01,dup=0.005,seed=7 (see docs/FAULTS.md)")
@@ -67,10 +75,32 @@ func main() {
 		}
 		cfg.Faults = &fc
 	}
+	var cache *dsisim.ResultCache
+	if *useCache {
+		cache = dsisim.NewResultCache(*cacheMB << 20)
+		cfg.Cache = cache
+	}
 	res, err := dsisim.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsisim:", err)
 		os.Exit(1)
+	}
+	if cache != nil {
+		// Second pass: must be served from memory, bit-identical.
+		memo, err := dsisim.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsisim:", err)
+			os.Exit(1)
+		}
+		if !reflect.DeepEqual(res, memo) {
+			fmt.Fprintln(os.Stderr, "dsisim: memoized result differs from computed result")
+			os.Exit(1)
+		}
+		s := cache.Stats()
+		if s.Hits != 1 || s.Misses != 1 {
+			fmt.Fprintf(os.Stderr, "dsisim: cache self-check expected 1 hit / 1 miss, got %d / %d\n", s.Hits, s.Misses)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("workload   %s\nprotocol   %s\nprocessors %d\ncache      %d bytes, 4-way, 32-byte blocks\nnetwork    %d cycles\n\n",
@@ -132,6 +162,12 @@ func main() {
 		fmt.Printf("faults: %d dropped, %d duplicated, %d delayed (%d converted, %d scripted) over %d decisions\n",
 			f.Dropped, f.Duplicated, f.Delayed, f.Converted, f.Scripted, f.Decisions)
 		fmt.Printf("recovery: %d timeouts, %d retransmissions, %d NACKs\n", timeouts, retries, nacks)
+	}
+
+	if cache != nil {
+		fmt.Println()
+		fmt.Println(cache.Stats().Table().Render())
+		fmt.Println("cache self-check: memoized result bit-identical to computed result")
 	}
 }
 

@@ -44,6 +44,7 @@ import (
 	"dsisim/internal/netsim"
 	"dsisim/internal/obs"
 	"dsisim/internal/proto"
+	"dsisim/internal/simcache"
 	"dsisim/internal/stats"
 	"dsisim/internal/workload"
 )
@@ -189,7 +190,25 @@ type Config struct {
 	// backoff, and NACK handling — so every run still terminates and passes
 	// the coherence audit. A nil (or zero) Faults costs nothing.
 	Faults *FaultConfig
+	// Cache, if set, memoizes Results by the run's canonical content
+	// address (workload, scale, protocol, machine parameters, fault plan,
+	// seed): a repeated configuration is served from memory, bit-identical
+	// to a fresh simulation. The handle is caller-owned, so one cache can
+	// span many Run calls (see NewResultCache). Runs with a Sink attached
+	// bypass the cache — recording is a side effect a memoized result
+	// cannot replay — as do custom programs via RunProgram (no canonical
+	// key). A nil Cache simulates every run.
+	Cache *ResultCache
 }
+
+// ResultCache is a content-addressed, byte-budgeted LRU store of simulation
+// Results with singleflight deduplication of concurrent identical requests
+// (internal/simcache). Attach one via Config.Cache.
+type ResultCache = simcache.Cache
+
+// NewResultCache builds a result cache that holds at most budgetBytes of
+// cached Results (<= 0 means unbounded).
+func NewResultCache(budgetBytes int64) *ResultCache { return simcache.New(budgetBytes) }
 
 // FaultConfig describes a deterministic fault-injection plan. The zero value
 // injects nothing.
@@ -313,6 +332,36 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Workload == "" {
 		return Result{}, fmt.Errorf("dsisim: Config.Workload is empty (use RunProgram for custom programs)")
 	}
+	if cfg.Cache != nil && cfg.Sink == nil {
+		// Built-in workloads are fully determined by the Config, so the run
+		// has a canonical content address. A Sink disables memoization: event
+		// recording is a side effect a cached result cannot replay.
+		mc, err := cfg.machineConfig()
+		if err != nil {
+			return Result{}, err
+		}
+		proto := cfg.Protocol
+		if proto == "" {
+			proto = SC
+		}
+		key := simcache.RequestOf(cfg.Workload, cfg.Scale.String(), string(proto), mc).Key()
+		var runErr error
+		res, _ := cfg.Cache.Do(key, func() machine.Result {
+			var r Result
+			r, runErr = runUncached(cfg)
+			if runErr != nil && !r.Failed() {
+				// Mark construction failures (e.g. unknown workload) so the
+				// cache never stores them; hits must imply a successful run.
+				r.Errors = append(r.Errors, runErr.Error())
+			}
+			return r
+		})
+		return res, runErr
+	}
+	return runUncached(cfg)
+}
+
+func runUncached(cfg Config) (Result, error) {
 	prog, err := workload.New(cfg.Workload, cfg.Scale)
 	if err != nil {
 		return Result{}, err

@@ -43,8 +43,9 @@ var timeBanned = map[string]bool{
 // DefaultSimPackages lists the packages whose results feed deterministic
 // simulation state: the event kernel, the protocol engines, the network, the
 // fault-injection plan, the machine assembly, the DSI policies, the hardware
-// structures, and the workload generators (whose construction and litmus
-// fuzzing must be bit-identical across runs given a seed).
+// structures, the workload generators (whose construction and litmus
+// fuzzing must be bit-identical across runs given a seed), and the result
+// cache (whose keys and stored payloads stand in for real simulations).
 var DefaultSimPackages = []string{
 	"dsisim/internal/event",
 	"dsisim/internal/proto",
@@ -56,6 +57,7 @@ var DefaultSimPackages = []string{
 	"dsisim/internal/cache",
 	"dsisim/internal/blockmap",
 	"dsisim/internal/workload",
+	"dsisim/internal/simcache",
 }
 
 // New returns the analyzer; simPkg reports whether a package (by import

@@ -16,6 +16,15 @@
 // by raw uint64 block indexes, not mem.Addr) so that internal/mem itself can
 // build on it without an import cycle.
 //
+// Two record layouts share one key structure (the internal index type):
+//
+//   - Map[T] stores one record plane — the right shape when every handler
+//     touches most of the record.
+//   - SoA[H, C] splits each record into a hot word plane and a cold payload
+//     plane (see soa.go) — the structure-of-arrays layout the event heap
+//     uses, for tables where the common path reads one small field and the
+//     rest is rare-path state.
+//
 // Design constraints, in order:
 //
 //   - Stable pointers. Records live in fixed-size pages that are never
@@ -48,26 +57,11 @@ const (
 // map with DefaultDenseCap; it must not be copied after first use (records
 // hold into its pages).
 type Map[T any] struct {
-	// slots maps a dense block index to record id+1; 0 means absent. Grown
-	// lazily in powers of two up to the dense cap.
-	slots []int32
-	// cap is the dense-region bound, fixed at first insert (DefaultDenseCap
-	// for the zero value).
-	cap uint64
-
-	// Overflow open-addressing table for indexes >= cap. oKeys stores
-	// index+1 so 0 can mean an empty slot; oIDs holds the record id.
-	oKeys []uint64
-	oIDs  []int32
-	oLen  int
-
-	// keys records each id's block index in insertion order (ForEach).
-	keys []uint64
+	idx index
 	// pages stores the records: id i lives at pages[i>>pageBits][i&pageMask].
 	// Pages are never reallocated, so record pointers are stable; Reset
 	// keeps them for reuse.
 	pages [][]T
-	n     int
 }
 
 // New returns a Map whose dense region covers block indexes below denseCap.
@@ -75,12 +69,12 @@ type Map[T any] struct {
 // whose keys are known to be composite (and therefore sparse) from the
 // start.
 func New[T any](denseCap uint64) Map[T] {
-	return Map[T]{cap: denseCap}
+	return Map[T]{idx: index{cap: denseCap}}
 }
 
 // Len returns the number of block records ever created (records are never
 // deleted).
-func (m *Map[T]) Len() int { return m.n }
+func (m *Map[T]) Len() int { return m.idx.n }
 
 // at returns the record with id i.
 //
@@ -94,14 +88,8 @@ func (m *Map[T]) at(i int32) *T {
 //
 //dsi:hotpath
 func (m *Map[T]) Get(idx uint64) *T {
-	if idx < uint64(len(m.slots)) {
-		if s := m.slots[idx]; s != 0 {
-			return m.at(s - 1)
-		}
-		return nil
-	}
-	if m.oLen != 0 && idx >= m.cap {
-		return m.getOverflow(idx)
+	if id := m.idx.get(idx); id >= 0 {
+		return m.at(id)
 	}
 	return nil
 }
@@ -111,29 +99,29 @@ func (m *Map[T]) Get(idx uint64) *T {
 //
 //dsi:hotpath
 func (m *Map[T]) Ensure(idx uint64) *T {
-	if m.cap == 0 {
-		m.cap = DefaultDenseCap
-	}
-	if idx < m.cap {
-		if idx < uint64(len(m.slots)) {
-			if s := m.slots[idx]; s != 0 {
-				return m.at(s - 1)
-			}
-		} else {
-			m.growSlots(idx)
-		}
-		id := m.push(idx)
-		m.slots[idx] = id + 1
+	id, fresh := m.idx.ensure(idx)
+	if !fresh {
 		return m.at(id)
 	}
-	return m.ensureOverflow(idx)
+	if int(id)>>pageBits == len(m.pages) {
+		m.addPage()
+	}
+	p := m.at(id)
+	var zero T
+	*p = zero
+	return p
+}
+
+// addPage appends one record page (cold path: a warm machine never grows).
+func (m *Map[T]) addPage() {
+	m.pages = append(m.pages, make([]T, pageSize))
 }
 
 // ForEach calls fn for every record in insertion order, which is
 // deterministic: it follows the simulation's own first-touch order.
 func (m *Map[T]) ForEach(fn func(idx uint64, r *T)) {
-	for i := 0; i < m.n; i++ {
-		fn(m.keys[i], m.at(int32(i)))
+	for i := 0; i < m.idx.n; i++ {
+		fn(m.idx.keys[i], m.at(int32(i)))
 	}
 }
 
@@ -142,113 +130,5 @@ func (m *Map[T]) ForEach(fn func(idx uint64, r *T)) {
 // steady state with zero map growth. Records are re-zeroed on their next
 // Ensure, not here.
 func (m *Map[T]) Reset() {
-	clear(m.slots)
-	clear(m.oKeys)
-	m.oLen = 0
-	m.keys = m.keys[:0]
-	m.n = 0
-}
-
-// push appends a fresh zeroed record for idx and returns its id.
-func (m *Map[T]) push(idx uint64) int32 {
-	id := m.n
-	if id>>pageBits == len(m.pages) {
-		m.pages = append(m.pages, make([]T, pageSize))
-	}
-	m.n++
-	m.keys = append(m.keys, idx)
-	p := m.at(int32(id))
-	var zero T
-	*p = zero
-	return int32(id)
-}
-
-// growSlots extends the dense slot array to cover idx (next power of two,
-// clamped to the dense cap). Growth happens on first touch of a new high
-// block — setup and cold paths only; a warm machine never grows.
-func (m *Map[T]) growSlots(idx uint64) {
-	want := uint64(1024)
-	for want <= idx {
-		want <<= 1
-	}
-	if want > m.cap {
-		want = m.cap
-	}
-	ns := make([]int32, want)
-	copy(ns, m.slots)
-	m.slots = ns
-}
-
-// getOverflow probes the open-addressing table for idx.
-//
-//dsi:hotpath
-func (m *Map[T]) getOverflow(idx uint64) *T {
-	mask := uint64(len(m.oKeys) - 1)
-	for h := hash(idx) & mask; ; h = (h + 1) & mask {
-		k := m.oKeys[h]
-		if k == 0 {
-			return nil
-		}
-		if k == idx+1 {
-			return m.at(m.oIDs[h])
-		}
-	}
-}
-
-// ensureOverflow is Ensure's slow path for indexes beyond the dense cap.
-func (m *Map[T]) ensureOverflow(idx uint64) *T {
-	if m.oLen*4 >= len(m.oKeys)*3 {
-		m.growOverflow()
-	}
-	mask := uint64(len(m.oKeys) - 1)
-	for h := hash(idx) & mask; ; h = (h + 1) & mask {
-		k := m.oKeys[h]
-		if k == idx+1 {
-			return m.at(m.oIDs[h])
-		}
-		if k == 0 {
-			id := m.push(idx)
-			m.oKeys[h] = idx + 1
-			m.oIDs[h] = id
-			m.oLen++
-			return m.at(id)
-		}
-	}
-}
-
-// growOverflow doubles the overflow table and rehashes the live keys.
-func (m *Map[T]) growOverflow() {
-	nlen := len(m.oKeys) * 2
-	if nlen == 0 {
-		nlen = 64
-	}
-	oldK, oldID := m.oKeys, m.oIDs
-	m.oKeys = make([]uint64, nlen)
-	m.oIDs = make([]int32, nlen)
-	mask := uint64(nlen - 1)
-	for i, k := range oldK {
-		if k == 0 {
-			continue
-		}
-		for h := hash(k-1) & mask; ; h = (h + 1) & mask {
-			if m.oKeys[h] == 0 {
-				m.oKeys[h] = k
-				m.oIDs[h] = oldID[i]
-				break
-			}
-		}
-	}
-}
-
-// hash is the splitmix64 finalizer — strong enough to spread composite and
-// strided block indexes across the overflow table.
-//
-//dsi:hotpath
-func hash(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
+	m.idx.reset()
 }

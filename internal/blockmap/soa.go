@@ -1,0 +1,109 @@
+package blockmap
+
+// SoA is a block-index-keyed table whose records are split across two page
+// planes — the structure-of-arrays layout the event heap uses for its
+// key/payload split, applied to per-block controller state. H holds the hot
+// words every handler touches (for the coherence controllers: the in-flight
+// transaction pointer); C holds the cold payload only rare paths read
+// (queue chains, write-buffer entries). Packing the hot words contiguously
+// fits several per-block records in one cache line where the interleaved
+// Map layout fit two, so the per-message "is this block busy?" probe walks
+// a denser working set.
+//
+// The same stability rules as Map apply: both planes are paged and never
+// reallocated, so *H and *C stay valid for the table's lifetime, and Reset
+// keeps every allocation. The zero value is an empty table with
+// DefaultDenseCap.
+type SoA[H, C any] struct {
+	idx index
+	// hot and cold store the two record planes: id i lives at
+	// plane[i>>pageBits][i&pageMask] in each.
+	hot  [][]H
+	cold [][]C
+}
+
+// NewSoA returns a SoA table whose dense region covers block indexes below
+// denseCap (see New).
+func NewSoA[H, C any](denseCap uint64) SoA[H, C] {
+	return SoA[H, C]{idx: index{cap: denseCap}}
+}
+
+// Len returns the number of block records ever created.
+func (m *SoA[H, C]) Len() int { return m.idx.n }
+
+// Hot returns the hot plane of record id (which must have come from Ensure
+// or ID).
+//
+//dsi:hotpath
+func (m *SoA[H, C]) Hot(id int32) *H {
+	return &m.hot[id>>pageBits][id&pageMask]
+}
+
+// Cold returns the cold plane of record id.
+//
+//dsi:hotpath
+func (m *SoA[H, C]) Cold(id int32) *C {
+	return &m.cold[id>>pageBits][id&pageMask]
+}
+
+// Get returns the hot plane of block index idx's record, or nil if none was
+// ever created.
+//
+//dsi:hotpath
+func (m *SoA[H, C]) Get(idx uint64) *H {
+	if id := m.idx.get(idx); id >= 0 {
+		return m.Hot(id)
+	}
+	return nil
+}
+
+// ID returns the record id for block index idx, or -1 if none was ever
+// created. Use it to reach the cold plane of a record that may not exist.
+//
+//dsi:hotpath
+func (m *SoA[H, C]) ID(idx uint64) int32 {
+	return m.idx.get(idx)
+}
+
+// Ensure returns the id and hot plane for block index idx, creating a
+// zeroed record (both planes) if none exists. The id reaches the cold plane
+// via Cold without a second key lookup.
+//
+//dsi:hotpath
+func (m *SoA[H, C]) Ensure(idx uint64) (int32, *H) {
+	id, fresh := m.idx.ensure(idx)
+	if !fresh {
+		return id, m.Hot(id)
+	}
+	if int(id)>>pageBits == len(m.hot) {
+		m.addPage()
+	}
+	h := m.Hot(id)
+	var zh H
+	*h = zh
+	c := m.Cold(id)
+	var zc C
+	*c = zc
+	return id, h
+}
+
+// addPage appends one page to each plane (cold path: a warm machine never
+// grows).
+func (m *SoA[H, C]) addPage() {
+	m.hot = append(m.hot, make([]H, pageSize))
+	m.cold = append(m.cold, make([]C, pageSize))
+}
+
+// ForEach calls fn for every record in insertion order with both planes
+// (deterministic: first-touch order).
+func (m *SoA[H, C]) ForEach(fn func(idx uint64, hot *H, cold *C)) {
+	for i := 0; i < m.idx.n; i++ {
+		fn(m.idx.keys[i], m.Hot(int32(i)), m.Cold(int32(i)))
+	}
+}
+
+// Reset empties the table while keeping every allocation, exactly as
+// Map.Reset does. Records are re-zeroed on their next Ensure, not here.
+func (m *SoA[H, C]) Reset() {
+	m.idx.reset()
+}

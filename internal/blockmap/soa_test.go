@@ -1,0 +1,147 @@
+package blockmap
+
+import "testing"
+
+type hotRec struct{ v int }
+type coldRec struct{ q [3]int32 }
+
+func TestSoAZeroValueGetEmpty(t *testing.T) {
+	var m SoA[hotRec, coldRec]
+	if p := m.Get(0); p != nil {
+		t.Fatalf("Get(0) on empty table = %v, want nil", p)
+	}
+	if id := m.ID(1 << 40); id != -1 {
+		t.Fatalf("ID(huge) on empty table = %d, want -1", id)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", m.Len())
+	}
+}
+
+func TestSoAEnsureRoundTrip(t *testing.T) {
+	var m SoA[hotRec, coldRec]
+	for i := uint64(0); i < 3000; i += 3 {
+		id, h := m.Ensure(i)
+		h.v = int(i) * 7
+		m.Cold(id).q[0] = int32(i) + 1
+	}
+	for i := uint64(0); i < 3000; i++ {
+		h := m.Get(i)
+		id := m.ID(i)
+		if i%3 == 0 {
+			if h == nil || h.v != int(i)*7 {
+				t.Fatalf("Get(%d) = %v, want v=%d", i, h, i*7)
+			}
+			if id < 0 || m.Cold(id).q[0] != int32(i)+1 {
+				t.Fatalf("Cold(%d) mismatch", i)
+			}
+		} else {
+			if h != nil || id != -1 {
+				t.Fatalf("Get(%d) = %v id=%d, want absent", i, h, id)
+			}
+		}
+	}
+	if m.Len() != 1000 {
+		t.Fatalf("Len() = %d, want 1000", m.Len())
+	}
+}
+
+func TestSoAStablePointersAcrossGrowth(t *testing.T) {
+	var m SoA[hotRec, coldRec]
+	id1, h1 := m.Ensure(42)
+	c1 := m.Cold(id1)
+	h1.v = 99
+	c1.q[1] = 7
+	for i := uint64(0); i < 10*pageSize; i++ {
+		m.Ensure(i + 100)
+	}
+	id2, h2 := m.Ensure(42)
+	if id1 != id2 || h1 != h2 || m.Cold(id2) != c1 {
+		t.Fatalf("Ensure(42) moved: id %d→%d hot %p→%p", id1, id2, h1, h2)
+	}
+	if h1.v != 99 || c1.q[1] != 7 {
+		t.Fatalf("record clobbered by growth: %d %d", h1.v, c1.q[1])
+	}
+}
+
+func TestSoAOverflowBeyondDenseCap(t *testing.T) {
+	m := NewSoA[hotRec, coldRec](128)
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		idx := i * 1000003
+		_, h := m.Ensure(idx)
+		h.v = int(idx)
+	}
+	for i := uint64(0); i < n; i++ {
+		idx := i * 1000003
+		h := m.Get(idx)
+		if h == nil || h.v != int(idx) {
+			t.Fatalf("Get(%d) = %v, want %d", idx, h, idx)
+		}
+	}
+	if m.Get(7777777777) != nil {
+		t.Fatal("Get of absent overflow key should be nil")
+	}
+	if m.Len() != n {
+		t.Fatalf("Len() = %d, want %d", m.Len(), n)
+	}
+}
+
+func TestSoAForEachInsertionOrder(t *testing.T) {
+	m := NewSoA[hotRec, coldRec](64)
+	order := []uint64{9, 3, 1 << 30, 5, 70, 2}
+	for i, idx := range order {
+		id, h := m.Ensure(idx)
+		h.v = i
+		m.Cold(id).q[2] = int32(i)
+	}
+	var got []uint64
+	m.ForEach(func(idx uint64, h *hotRec, c *coldRec) {
+		if h.v != len(got) || c.q[2] != int32(len(got)) {
+			t.Fatalf("record %d out of order: hot=%d cold=%d", idx, h.v, c.q[2])
+		}
+		got = append(got, idx)
+	})
+	if len(got) != len(order) {
+		t.Fatalf("visited %d records, want %d", len(got), len(order))
+	}
+	for i := range order {
+		if got[i] != order[i] {
+			t.Fatalf("ForEach order %v, want %v", got, order)
+		}
+	}
+}
+
+func TestSoAResetKeepsCapacityAndZeroesBothPlanes(t *testing.T) {
+	var m SoA[hotRec, coldRec]
+	for i := uint64(0); i < 1000; i++ {
+		id, h := m.Ensure(i)
+		h.v = 1
+		m.Cold(id).q[0] = 1
+	}
+	m.Ensure(1 << 30)
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatalf("Len() after Reset = %d, want 0", m.Len())
+	}
+	if m.Get(5) != nil || m.ID(1<<30) != -1 {
+		t.Fatal("records visible after Reset")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		m.Reset()
+		for i := uint64(0); i < 1000; i++ {
+			id, h := m.Ensure(i)
+			if h.v != 0 || m.Cold(id).q[0] != 0 {
+				t.Fatal("reused record not zeroed")
+			}
+			h.v = 2
+			m.Cold(id).q[0] = 2
+		}
+		if _, h := m.Ensure(1 << 30); h.v != 0 {
+			t.Fatal("reused overflow record not zeroed")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm Reset+refill allocated %.1f times, want 0", allocs)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"dsisim/internal/faultinj"
 	"dsisim/internal/machine"
 	"dsisim/internal/proto"
+	"dsisim/internal/simcache"
 	"dsisim/internal/stats"
 	"dsisim/internal/steal"
 	"dsisim/internal/workload"
@@ -96,6 +97,13 @@ type Options struct {
 	// hardened protocol), so grids can measure recovery overhead; see
 	// RecoveryTable.
 	Faults *faultinj.Config
+	// Cache, if set, memoizes each cell's Result under its canonical
+	// simcache key: a cell already simulated with identical parameters is
+	// served from memory, bit-identical to the computed run (the simulator
+	// is deterministic, so the key fully determines the Result). Repeated
+	// grids — the service north-star's popular configurations — then cost
+	// one simulation each. nil runs every cell.
+	Cache *simcache.Cache
 }
 
 func (o Options) defaults() Options {
@@ -129,10 +137,6 @@ func RunOne(name string, label Label, o Options) (machine.Result, error) {
 // a shared free list and every worker reuses its own still-warm machine.
 func runOneIn(pool *machine.Pool, name string, label Label, o Options) (machine.Result, error) {
 	o = o.defaults()
-	prog, err := workload.New(name, o.Scale)
-	if err != nil {
-		return machine.Result{}, err
-	}
 	cons, pol := label.Config()
 	cfg := machine.Config{
 		Processors:     o.Processors,
@@ -143,9 +147,26 @@ func runOneIn(pool *machine.Pool, name string, label Label, o Options) (machine.
 		Policy:         pol,
 		Faults:         o.Faults,
 	}
-	m := pool.Get(cfg)
-	res := m.Run(prog)
-	pool.Put(m)
+	// The workload build lives inside the compute closure so a cache hit
+	// skips program construction along with the simulation. A workload
+	// error surfaces as a failed Result, which the cache never stores.
+	var wlErr error
+	compute := func() machine.Result {
+		prog, err := workload.New(name, o.Scale)
+		if err != nil {
+			wlErr = err
+			return machine.Result{Errors: []string{err.Error()}}
+		}
+		m := pool.Get(cfg)
+		res := m.Run(prog)
+		pool.Put(m)
+		return res
+	}
+	key := simcache.RequestOf(name, o.Scale.String(), string(label), cfg).Key()
+	res, _ := o.Cache.Do(key, compute)
+	if wlErr != nil {
+		return machine.Result{}, wlErr
+	}
 	if res.Failed() {
 		return res, fmt.Errorf("%s/%s (%v, %d-cycle net): %s", name, label, o.Class, o.Latency, res.Errors[0])
 	}

@@ -105,11 +105,19 @@ type pendingStore struct {
 	cont  func(Result)
 }
 
-// ccBlock is one block's hot cache-controller state, co-located in a single
-// blockmap record: the outstanding miss (ms, nil when none) and the
-// write-buffer entry (wb, nil when none; WC only).
-type ccBlock struct {
+// ccHot is the hot plane of one block's cache-controller state: the
+// outstanding miss (nil when none), the one word every grant handler and
+// miss issue probes. At 8 bytes, eight blocks' hot state share one cache
+// line (the interleaved record fit four).
+type ccHot struct {
 	ms *mshr
+}
+
+// ccCold is the cold plane: the write-buffer entry (nil when none). Entries
+// exist only under weak consistency — bufferStore is the sole allocator and
+// runs only when cfg.Consistency == WC — so SC paths may skip this plane
+// entirely.
+type ccCold struct {
 	wb *wbEntry
 }
 
@@ -157,11 +165,13 @@ type CacheCtrl struct {
 	// tear-off copy, 0 when none (§3.3: invalidated at the next miss).
 	scTear mem.Addr
 
-	// blocks is the dense per-block state table co-locating each block's
+	// blocks is the dense per-block state table holding each block's
 	// outstanding miss and write-buffer entry (replaces the mshrs and
-	// entries hash maps); msCount/wbCount track how many records hold a
-	// live miss or unretired entry.
-	blocks  blockmap.Map[ccBlock]
+	// entries hash maps), split SoA-style: the miss pointer lives in the
+	// hot plane, the WC-only write-buffer pointer in the cold one;
+	// msCount/wbCount track how many records hold a live miss or unretired
+	// entry.
+	blocks  blockmap.SoA[ccHot, ccCold]
 	msCount int
 	wbCount int
 
@@ -282,11 +292,21 @@ func (cc *CacheCtrl) Reset(cfg Config) {
 	cc.stats = CacheStats{}
 }
 
-// block returns b's co-located state record, creating it on first touch.
+// block returns b's hot state plane, creating the record on first touch.
 //
 //dsi:hotpath
-func (cc *CacheCtrl) block(b mem.Addr) *ccBlock {
-	return cc.blocks.Ensure(mem.BlockIndex(b))
+func (cc *CacheCtrl) block(b mem.Addr) *ccHot {
+	_, h := cc.blocks.Ensure(mem.BlockIndex(b))
+	return h
+}
+
+// wbOf returns b's cold write-buffer plane, creating the record on first
+// touch.
+//
+//dsi:hotpath
+func (cc *CacheCtrl) wbOf(b mem.Addr) *ccCold {
+	id, _ := cc.blocks.Ensure(mem.BlockIndex(b))
+	return cc.blocks.Cold(id)
 }
 
 // Cache exposes the cache array for checkers.
@@ -328,17 +348,21 @@ func (cc *CacheCtrl) Read(a mem.Addr, cont func(Result)) {
 		return
 	}
 	b := mem.BlockOf(a)
-	blk := cc.block(b)
-	if e := blk.wb; e != nil {
-		if !e.dataArrived {
-			// Stalled behind an outstanding write miss ("read wb" time).
-			cc.stats.ReadWBStalls++
-			e.readWaiters = append(e.readWaiters, cont)
-			return
+	id, blk := cc.blocks.Ensure(mem.BlockIndex(b))
+	// Write-buffer entries exist only under WC (see ccCold), so the SC read
+	// miss never touches the cold plane.
+	if cc.cfg.Consistency == WC {
+		if e := cc.blocks.Cold(id).wb; e != nil {
+			if !e.dataArrived {
+				// Stalled behind an outstanding write miss ("read wb" time).
+				cc.stats.ReadWBStalls++
+				e.readWaiters = append(e.readWaiters, cont)
+				return
+			}
+			// Data arrived but the block has since left the cache; fall
+			// through to a fresh read miss (the earlier writeback is
+			// FIFO-ordered ahead of the new request).
 		}
-		// Data arrived but the block has since left the cache; fall through
-		// to a fresh read miss (the earlier writeback is FIFO-ordered ahead
-		// of the new request).
 	}
 	cc.stats.ReadMisses++
 	cc.issueMiss(b, blk, cc.newMshr(mshr{kind: opRead, cont: cont, start: now}))
@@ -431,7 +455,7 @@ func (cc *CacheCtrl) DrainWB(cont func()) {
 // --- miss machinery ---------------------------------------------------------
 
 //dsi:hotpath
-func (cc *CacheCtrl) issueMiss(b mem.Addr, blk *ccBlock, ms *mshr) {
+func (cc *CacheCtrl) issueMiss(b mem.Addr, blk *ccHot, ms *mshr) {
 	// Sequentially consistent tear-off copies die at the next cache miss
 	// (Scheurich's condition): until this processor misses, it cannot
 	// observe new values, so its reads order legally before the conflicting
@@ -615,8 +639,9 @@ func (cc *CacheCtrl) notifySelfInval(ev cache.Evicted) {
 func (cc *CacheCtrl) bufferStore(ps pendingStore) {
 	b := mem.BlockOf(ps.addr)
 	now := cc.env.Q.Now()
-	blk := cc.block(b)
-	if e := blk.wb; e != nil {
+	id, blk := cc.blocks.Ensure(mem.BlockIndex(b))
+	w := cc.blocks.Cold(id)
+	if e := w.wb; e != nil {
 		if !e.dataArrived {
 			// Coalesce into the outstanding entry.
 			e.coalesce(ps.addr, ps.st)
@@ -633,10 +658,10 @@ func (cc *CacheCtrl) bufferStore(ps pendingStore) {
 		cc.stalled = append(cc.stalled, ps)
 		return
 	}
-	cc.allocateEntry(b, blk, ps)
+	cc.allocateEntry(b, blk, w, ps)
 }
 
-func (cc *CacheCtrl) allocateEntry(b mem.Addr, blk *ccBlock, ps pendingStore) {
+func (cc *CacheCtrl) allocateEntry(b mem.Addr, blk *ccHot, w *ccCold, ps pendingStore) {
 	now := cc.env.Q.Now()
 	var e *wbEntry
 	if n := len(cc.wbFree); n > 0 {
@@ -647,7 +672,7 @@ func (cc *CacheCtrl) allocateEntry(b mem.Addr, blk *ccBlock, ps pendingStore) {
 		e = &wbEntry{addr: b}
 	}
 	e.coalesce(ps.addr, ps.st)
-	blk.wb = e
+	w.wb = e
 	cc.wbCount++
 	cc.stats.WriteMisses++
 	cc.issueMiss(b, blk, cc.newMshr(mshr{kind: opWrite, addr: ps.addr, st: ps.st, start: ps.start}))
@@ -656,7 +681,7 @@ func (cc *CacheCtrl) allocateEntry(b mem.Addr, blk *ccBlock, ps pendingStore) {
 
 // retire frees a write-buffer slot and wakes anything waiting on it.
 func (cc *CacheCtrl) retire(e *wbEntry) {
-	cc.block(e.addr).wb = nil
+	cc.wbOf(e.addr).wb = nil
 	cc.wbCount--
 	blocked := e.blockedStores
 	e.blockedStores = nil
@@ -773,7 +798,7 @@ func (cc *CacheCtrl) onDataS(m netsim.Message) {
 			// as fresh: with no live state and no copy here, the directory
 			// just recorded this node as a sharer, so return the phantom
 			// copy with a replacement notice to keep the sharer set honest.
-			if ms == nil && blk.wb == nil && !m.TearOff {
+			if ms == nil && cc.wbOf(b).wb == nil && !m.TearOff {
 				if _, held := cc.c.Peek(b); !held {
 					cc.stats.GrantsReturned++
 					cc.send(netsim.Message{Kind: netsim.Repl, Dst: cc.home(b), Addr: b})
@@ -861,7 +886,7 @@ func (cc *CacheCtrl) onAckX(m netsim.Message) {
 			// fresh is refused like a DataX: the AckX carries the block's
 			// committed contents as bookkeeping, so the give-back writeback
 			// has the data it needs (see giveBackGrant).
-			if ms == nil && blk.wb == nil {
+			if ms == nil && cc.wbOf(b).wb == nil {
 				cc.giveBackGrant(b, m)
 				return
 			}
@@ -887,7 +912,7 @@ func (cc *CacheCtrl) onAckX(m netsim.Message) {
 // applyGrant performs the buffered store or swap once exclusive ownership
 // arrives, and completes the processor operation (or parks it awaiting the
 // weak-consistency FinalAck).
-func (cc *CacheCtrl) applyGrant(b mem.Addr, blk *ccBlock, ms *mshr, m netsim.Message) {
+func (cc *CacheCtrl) applyGrant(b mem.Addr, blk *ccHot, ms *mshr, m netsim.Message) {
 	now := cc.env.Q.Now()
 	f, ok := cc.c.Peek(b)
 	if !ok {
@@ -905,7 +930,7 @@ func (cc *CacheCtrl) applyGrant(b mem.Addr, blk *ccBlock, ms *mshr, m netsim.Mes
 			// pendingFinal it owns the lost-FinalAck probe timer.
 			txnID, gen := ms.txn, ms.tgen
 			cc.freeMshr(ms)
-			e := blk.wb
+			e := cc.wbOf(b).wb
 			if e == nil {
 				cc.env.fail("cache %d: WC write grant without wb entry for %#x", cc.node, uint64(b))
 				return
@@ -955,8 +980,8 @@ func (cc *CacheCtrl) applyGrant(b mem.Addr, blk *ccBlock, ms *mshr, m netsim.Mes
 func (cc *CacheCtrl) onFinalAck(m netsim.Message) {
 	b := mem.BlockOf(m.Addr)
 	hardened := cc.cfg.Retry != nil
-	blk := cc.block(b)
-	if e := blk.wb; e != nil {
+	id, blk := cc.blocks.Ensure(mem.BlockIndex(b))
+	if e := cc.blocks.Cold(id).wb; e != nil {
 		if !e.pendingFinal || (hardened && e.txn != m.Txn) {
 			if hardened {
 				cc.stats.StraysIgnored++

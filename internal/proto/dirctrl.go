@@ -87,23 +87,29 @@ type DirStats struct {
 	StrayAcks   int64 // duplicate/stale acknowledgments tolerated
 }
 
-// dirBlock is one block's hot directory-controller state, co-located in a
-// single blockmap record: the live transaction, the head/tail of the queue
-// of requests waiting behind it (freelist-linked through DirCtrl.qNodes, no
-// per-block slice), and a cached pointer to the block's directory entry so
-// the steady-state request path does one block-table lookup, not three hash
-// probes.
-type dirBlock struct {
+// dirHot is the hot plane of one block's directory-controller state — the
+// two words every message handler reads: the live transaction and a cached
+// pointer to the block's directory entry, so the steady-state request path
+// does one block-table lookup, not three hash probes. At 16 bytes, four
+// blocks' hot state share one cache line (the interleaved record fit two).
+type dirHot struct {
 	// t is the live transaction; nil when the block is not busy.
 	t *txn
+	// ent caches the directory entry pointer (stable for the directory's
+	// lifetime), filled on first use.
+	ent *directory.Entry
+}
+
+// dirCold is the cold plane: the request queue behind a busy block
+// (freelist-linked through DirCtrl.qNodes, no per-block slice), touched
+// only when a request actually collides with a live transaction —
+// stats.Queued events, rare relative to message handling.
+type dirCold struct {
 	// qHead/qTail link the queued requests through DirCtrl.qNodes, stored
 	// as index+1 so the zeroed record means "empty queue". qLen mirrors the
 	// list length for the QueueLimit check and diagnostics.
 	qHead, qTail int32
 	qLen         int32
-	// ent caches the directory entry pointer (stable for the directory's
-	// lifetime), filled on first use.
-	ent *directory.Entry
 }
 
 // queueNode is one pooled pending-request record; next is index+1 into
@@ -123,8 +129,9 @@ type DirCtrl struct {
 	server event.Server
 
 	// blocks is the dense per-block state table (replaces the busy and
-	// queue hash maps).
-	blocks blockmap.Map[dirBlock]
+	// queue hash maps), split SoA-style: the txn/entry words handlers probe
+	// on every message live in the hot plane, the queue links in the cold.
+	blocks blockmap.SoA[dirHot, dirCold]
 	// qNodes backs every block's pending-request list; qFree heads the free
 	// list (index+1, 0 = empty). busyCount tracks blocks with a live
 	// transaction for BusyBlocks.
@@ -163,27 +170,36 @@ func (dc *DirCtrl) Reset(cfg Config) {
 	dc.stats = DirStats{}
 }
 
-// block returns b's co-located state record, creating it on first touch.
+// block returns b's hot state plane, creating the record on first touch.
 //
 //dsi:hotpath
-func (dc *DirCtrl) block(b mem.Addr) *dirBlock {
-	return dc.blocks.Ensure(mem.BlockIndex(b))
+func (dc *DirCtrl) block(b mem.Addr) *dirHot {
+	_, h := dc.blocks.Ensure(mem.BlockIndex(b))
+	return h
+}
+
+// queue returns b's cold queue plane, creating the record on first touch.
+//
+//dsi:hotpath
+func (dc *DirCtrl) queue(b mem.Addr) *dirCold {
+	id, _ := dc.blocks.Ensure(mem.BlockIndex(b))
+	return dc.blocks.Cold(id)
 }
 
 // entry returns b's directory entry through the record's cached pointer.
 //
 //dsi:hotpath
-func (dc *DirCtrl) entry(db *dirBlock, b mem.Addr) *directory.Entry {
+func (dc *DirCtrl) entry(db *dirHot, b mem.Addr) *directory.Entry {
 	if db.ent == nil {
 		db.ent = dc.dir.Entry(b)
 	}
 	return db.ent
 }
 
-// pushQueue appends m to db's pending-request list.
+// pushQueue appends m to q's pending-request list.
 //
 //dsi:hotpath
-func (dc *DirCtrl) pushQueue(db *dirBlock, m netsim.Message) {
+func (dc *DirCtrl) pushQueue(q *dirCold, m netsim.Message) {
 	var id int32
 	if dc.qFree != 0 {
 		id = dc.qFree - 1
@@ -195,30 +211,30 @@ func (dc *DirCtrl) pushQueue(db *dirBlock, m netsim.Message) {
 	n := &dc.qNodes[id]
 	n.m = m
 	n.next = 0
-	if db.qTail != 0 {
-		dc.qNodes[db.qTail-1].next = id + 1
+	if q.qTail != 0 {
+		dc.qNodes[q.qTail-1].next = id + 1
 	} else {
-		db.qHead = id + 1
+		q.qHead = id + 1
 	}
-	db.qTail = id + 1
-	db.qLen++
+	q.qTail = id + 1
+	q.qLen++
 }
 
-// popQueue removes and returns the head of db's pending-request list.
+// popQueue removes and returns the head of q's pending-request list.
 //
 //dsi:hotpath
-func (dc *DirCtrl) popQueue(db *dirBlock) (netsim.Message, bool) {
-	if db.qHead == 0 {
+func (dc *DirCtrl) popQueue(q *dirCold) (netsim.Message, bool) {
+	if q.qHead == 0 {
 		return netsim.Message{}, false
 	}
-	id := db.qHead - 1
+	id := q.qHead - 1
 	n := &dc.qNodes[id]
 	m := n.m
-	db.qHead = n.next
-	if db.qHead == 0 {
-		db.qTail = 0
+	q.qHead = n.next
+	if q.qHead == 0 {
+		q.qTail = 0
 	}
-	db.qLen--
+	q.qLen--
 	n.m = netsim.Message{}
 	n.next = dc.qFree
 	dc.qFree = id + 1
@@ -294,7 +310,7 @@ func (dc *DirCtrl) newTxn(init txn) *txn {
 // coherence action to re-send on timeout, marks the block busy, emits the
 // transaction-start event, and — hardened only — arms the retry timer.
 // Callers send the initial action messages themselves.
-func (dc *DirCtrl) openTxn(db *dirBlock, b mem.Addr, t *txn, action netsim.Kind) {
+func (dc *DirCtrl) openTxn(db *dirHot, b mem.Addr, t *txn, action netsim.Kind) {
 	t.action = action
 	db.t = t
 	dc.busyCount++
@@ -361,21 +377,22 @@ func (dc *DirCtrl) admit(m netsim.Message) {
 //dsi:hotpath
 func (dc *DirCtrl) process(m netsim.Message) {
 	b := mem.BlockOf(m.Addr)
-	db := dc.block(b)
+	id, db := dc.blocks.Ensure(mem.BlockIndex(b))
 	if t := db.t; t != nil {
+		q := dc.blocks.Cold(id)
 		if dc.cfg.Retry != nil {
-			if dc.isDuplicate(t, db, m) {
+			if dc.isDuplicate(t, q, m) {
 				dc.stats.DupRequests++
 				return
 			}
-			if lim := dc.cfg.Retry.QueueLimit; lim > 0 && int(db.qLen) >= lim {
+			if lim := dc.cfg.Retry.QueueLimit; lim > 0 && int(q.qLen) >= lim {
 				dc.stats.NacksSent++
 				dc.send(netsim.Message{Kind: netsim.Nack, Dst: m.Src, Addr: b, Txn: m.Txn})
 				return
 			}
 		}
 		dc.stats.Queued++
-		dc.pushQueue(db, m)
+		dc.pushQueue(q, m)
 		return
 	}
 	if dc.cfg.Retry != nil && dc.replayed(b, m) {
@@ -406,11 +423,11 @@ func (dc *DirCtrl) process(m netsim.Message) {
 	// Requests served immediately (no transaction) must still release any
 	// requests that queued behind the block while it was busy.
 	if db.t == nil {
-		dc.dequeue(db)
+		dc.dequeue(dc.blocks.Cold(id))
 	}
 }
 
-func (dc *DirCtrl) processRead(m netsim.Message, db *dirBlock) {
+func (dc *DirCtrl) processRead(m netsim.Message, db *dirHot) {
 	b := mem.BlockOf(m.Addr)
 	e := dc.entry(db, b)
 	pol := dc.cfg.Policy
@@ -505,7 +522,7 @@ func (dc *DirCtrl) processRead(m netsim.Message, db *dirBlock) {
 // the reader becomes the owner, saving its anticipated upgrade. If the
 // returning data shows the previous owner never actually wrote, the block
 // is demoted out of migratory mode.
-func (dc *DirCtrl) processMigratoryRead(m netsim.Message, db *dirBlock, e *directory.Entry) {
+func (dc *DirCtrl) processMigratoryRead(m netsim.Message, db *dirHot, e *directory.Entry) {
 	b := mem.BlockOf(m.Addr)
 	pol := dc.cfg.Policy
 	dc.stats.MigratoryGrants++
@@ -537,7 +554,7 @@ func (dc *DirCtrl) processMigratoryRead(m netsim.Message, db *dirBlock, e *direc
 	dc.sendGrant(m.Src, b, false, si, ver, hasVer, 0, false, m.Txn)
 }
 
-func (dc *DirCtrl) processWrite(m netsim.Message, db *dirBlock) {
+func (dc *DirCtrl) processWrite(m netsim.Message, db *dirHot) {
 	b := mem.BlockOf(m.Addr)
 	e := dc.entry(db, b)
 	pol := dc.cfg.Policy
@@ -648,7 +665,7 @@ func (dc *DirCtrl) sendGrant(dst int, b mem.Addr, upgrade, si bool, ver uint8, h
 // reply finishes a transaction's grant. For reads it sends DataS; for
 // writes it sends the exclusive grant (used both at completion under SC and
 // early under WC).
-func (dc *DirCtrl) reply(t *txn, db *dirBlock, early bool) {
+func (dc *DirCtrl) reply(t *txn, db *dirHot, early bool) {
 	b := mem.BlockOf(t.req.Addr)
 	var invWait event.Time
 	if !early {
@@ -684,7 +701,7 @@ func (dc *DirCtrl) reply(t *txn, db *dirBlock, early bool) {
 }
 
 // complete finishes a transaction once all acknowledgments are in.
-func (dc *DirCtrl) complete(t *txn, db *dirBlock) {
+func (dc *DirCtrl) complete(t *txn, db *dirHot) {
 	b := mem.BlockOf(t.req.Addr)
 	e := dc.entry(db, b)
 	switch {
@@ -726,14 +743,14 @@ func (dc *DirCtrl) complete(t *txn, db *dirBlock) {
 	dc.busyCount--
 	*t = txn{}
 	dc.txns = append(dc.txns, t)
-	dc.dequeue(db)
+	dc.dequeue(dc.queue(b))
 }
 
 // dequeue re-admits the next queued request for the block, if any.
 //
 //dsi:hotpath
-func (dc *DirCtrl) dequeue(db *dirBlock) {
-	if next, ok := dc.popQueue(db); ok {
+func (dc *DirCtrl) dequeue(q *dirCold) {
+	if next, ok := dc.popQueue(q); ok {
 		dc.admit(next)
 	}
 }

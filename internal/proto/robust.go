@@ -125,15 +125,15 @@ func doCacheRetry(arg any) {
 	cc, b, txnID, gen := rc.cc, rc.b, rc.txn, rc.gen
 	rc.b, rc.txn, rc.gen = 0, 0, 0
 	cc.rtFree = append(cc.rtFree, rc)
-	blk := cc.blocks.Get(mem.BlockIndex(b))
-	if blk == nil {
+	id := cc.blocks.ID(mem.BlockIndex(b))
+	if id < 0 {
 		return
 	}
-	if ms := blk.ms; ms != nil && ms.txn == txnID && ms.tgen == gen {
+	if ms := cc.blocks.Hot(id).ms; ms != nil && ms.txn == txnID && ms.tgen == gen {
 		cc.onMissTimeout(b, ms)
 		return
 	}
-	if e := blk.wb; e != nil && e.pendingFinal && e.txn == txnID && e.tgen == gen {
+	if e := cc.blocks.Cold(id).wb; e != nil && e.pendingFinal && e.txn == txnID && e.tgen == gen {
 		cc.onFinalTimeout(b, e)
 	}
 	// Otherwise the transaction completed before the timer fired: stale.
@@ -205,7 +205,7 @@ func (cc *CacheCtrl) onNack(m netsim.Message) {
 		cc.env.fail("cache %d: Nack without retry enabled: %v", cc.node, m)
 		return
 	}
-	blk := cc.block(b)
+	id, blk := cc.blocks.Ensure(mem.BlockIndex(b))
 	if ms := blk.ms; ms != nil && ms.txn == m.Txn {
 		cc.stats.NacksRecv++
 		ms.retries++
@@ -217,7 +217,7 @@ func (cc *CacheCtrl) onNack(m netsim.Message) {
 		cc.armMissTimer(b, ms)
 		return
 	}
-	if e := blk.wb; e != nil && e.pendingFinal && e.txn == m.Txn {
+	if e := cc.blocks.Cold(id).wb; e != nil && e.pendingFinal && e.txn == m.Txn {
 		cc.stats.NacksRecv++
 		e.retries++
 		if e.retries > cc.cfg.Retry.Max {
@@ -248,14 +248,15 @@ func (cc *CacheCtrl) onNack(m netsim.Message) {
 // (giveBackGrant). A duplicate of a grant whose copy is still live here is
 // the one genuinely ignorable case — directory and cache already agree.
 func (cc *CacheCtrl) recoverGrantReplay(b mem.Addr, m netsim.Message) {
-	if e := cc.block(b).wb; e != nil && e.pendingFinal && e.txn == m.Txn && !m.Pending {
+	w := cc.wbOf(b)
+	if e := w.wb; e != nil && e.pendingFinal && e.txn == m.Txn && !m.Pending {
 		if _, held := cc.c.Peek(b); !held {
 			cc.install(b, cache.Exclusive, m)
 		}
 		cc.retire(e)
 		return
 	}
-	if cc.block(b).wb == nil {
+	if w.wb == nil {
 		cc.giveBackGrant(b, m)
 		return
 	}
@@ -316,7 +317,7 @@ type OutstandingMiss struct {
 // write-buffer entries, sorted by block address for deterministic output.
 func (cc *CacheCtrl) DumpOutstanding() []OutstandingMiss {
 	out := make([]OutstandingMiss, 0, cc.msCount+cc.wbCount)
-	cc.blocks.ForEach(func(idx uint64, blk *ccBlock) {
+	cc.blocks.ForEach(func(idx uint64, blk *ccHot, w *ccCold) {
 		b := mem.Addr(idx) << mem.BlockShift
 		if ms := blk.ms; ms != nil {
 			out = append(out, OutstandingMiss{
@@ -324,7 +325,7 @@ func (cc *CacheCtrl) DumpOutstanding() []OutstandingMiss {
 				Retries: ms.retries, Start: ms.start, WaitingFinal: ms.waitingFinal,
 			})
 		}
-		if e := blk.wb; e != nil && e.pendingFinal && blk.ms == nil {
+		if e := w.wb; e != nil && e.pendingFinal && blk.ms == nil {
 			out = append(out, OutstandingMiss{
 				Addr: b, Txn: e.txn, Op: "final-ack",
 				Retries: e.retries, WaitingFinal: true,
@@ -407,11 +408,11 @@ func (dc *DirCtrl) onTxnTimeout(b mem.Addr, t *txn) {
 
 // isDuplicate reports whether m is a retransmission of the block's live
 // transaction or of a request already queued behind it.
-func (dc *DirCtrl) isDuplicate(t *txn, db *dirBlock, m netsim.Message) bool {
+func (dc *DirCtrl) isDuplicate(t *txn, q *dirCold, m netsim.Message) bool {
 	if t.req.Src == m.Src && t.req.Txn == m.Txn {
 		return true
 	}
-	for id := db.qHead; id != 0; id = dc.qNodes[id-1].next {
+	for id := q.qHead; id != 0; id = dc.qNodes[id-1].next {
 		if q := &dc.qNodes[id-1].m; q.Src == m.Src && q.Txn == m.Txn {
 			return true
 		}
@@ -488,7 +489,7 @@ type BusyTxn struct {
 // address for deterministic output.
 func (dc *DirCtrl) DumpBusy() []BusyTxn {
 	out := make([]BusyTxn, 0, dc.busyCount)
-	dc.blocks.ForEach(func(idx uint64, db *dirBlock) {
+	dc.blocks.ForEach(func(idx uint64, db *dirHot, q *dirCold) {
 		t := db.t
 		if t == nil {
 			return
@@ -496,7 +497,7 @@ func (dc *DirCtrl) DumpBusy() []BusyTxn {
 		out = append(out, BusyTxn{
 			Addr: mem.Addr(idx) << mem.BlockShift, Txn: t.req.Txn, Req: t.req.Kind, From: t.req.Src,
 			Action: t.action, Pending: t.pending, Retries: t.retries,
-			Queued: int(db.qLen),
+			Queued: int(q.qLen),
 		})
 	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })

@@ -80,6 +80,12 @@ type Verdict struct {
 	Status   Status `json:"status"`
 	Events   uint64 `json:"events"`
 	Cycles   int64  `json:"cycles"`
+	// Cached marks a verdict served from the result cache instead of a
+	// fresh simulation (Options.Cache). The payload fields are bit-identical
+	// either way — this is provenance for the hit-rate bookkeeping, the one
+	// verdict field that may legitimately differ between a straight-through
+	// run and a resumed one.
+	Cached bool `json:"cached,omitempty"`
 
 	// Failure-only fields.
 	Err      string `json:"err,omitempty"`

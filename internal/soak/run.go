@@ -12,6 +12,7 @@ import (
 
 	"dsisim/internal/faultinj"
 	"dsisim/internal/machine"
+	"dsisim/internal/simcache"
 	"dsisim/internal/stats"
 	"dsisim/internal/steal"
 	"dsisim/internal/workload"
@@ -42,6 +43,15 @@ type Options struct {
 	Stop      <-chan struct{} // graceful drain: finish in-flight cells, checkpoint, exit
 	Heartbeat time.Duration   // progress-line period (0 = silent)
 	Log       io.Writer       // heartbeat destination (nil = os.Stderr)
+
+	// Cache, if set, memoizes registry-workload cell results by their
+	// canonical simcache key. The handle is caller-owned, so it survives
+	// kill/resume sittings of the same process and is shared across
+	// campaigns. Litmus cells always execute (generated programs have no
+	// canonical request key), and triage re-runs bypass the cache — flake
+	// classification needs real re-execution. Verdicts record hit-vs-computed
+	// in Verdict.Cached.
+	Cache *simcache.Cache
 
 	// canary breaks litmus-cell writes (see workload.LitmusRun.Canary): the
 	// test hook proving the farm detects, classifies, minimizes, and persists
@@ -153,9 +163,15 @@ func Run(o Options) (*Report, error) {
 				case <-hbStop:
 					return
 				case <-tick.C:
-					fmt.Fprintf(o.Log, "soak: %d/%d cells this sitting (%d recovered), %d fail, %d steals, %d triage reruns, %s elapsed\n",
+					line := fmt.Sprintf("soak: %d/%d cells this sitting (%d recovered), %d fail, %d steals, %d triage reruns, %s elapsed",
 						done.Load(), len(todo), rep.Recovered, failed.Load(),
 						runner.Steals(), reruns.Load(), time.Since(start).Round(time.Second))
+					if o.Cache != nil {
+						cs := o.Cache.Stats()
+						line += fmt.Sprintf(", cache %dh/%dm/%de %dKB",
+							cs.Hits, cs.Misses, cs.Evictions, cs.Bytes/1024)
+					}
+					fmt.Fprintln(o.Log, line)
 				}
 			}
 		}()
@@ -274,13 +290,29 @@ func runCell(pool *machine.Pool, cell Cell, o Options) Verdict {
 			if serr != nil {
 				return serr
 			}
-			prog, perr := workload.New(cell.Workload, scale)
-			if perr != nil {
-				return perr
+			cfg := machineConfig(cell, o, faultsFor(cell))
+			// The workload build lives inside the compute closure so a cache
+			// hit skips program construction along with the simulation; a
+			// workload error surfaces as a failed Result, which the cache
+			// never stores.
+			var wlErr error
+			compute := func() machine.Result {
+				prog, perr := workload.New(cell.Workload, scale)
+				if perr != nil {
+					wlErr = perr
+					return machine.Result{Errors: []string{perr.Error()}}
+				}
+				m := pool.Get(cfg)
+				res := m.Run(prog)
+				pool.Put(m)
+				return res
 			}
-			m := pool.Get(machineConfig(cell, o, faultsFor(cell)))
-			res := m.Run(prog)
-			pool.Put(m)
+			key := simcache.RequestOf(cell.Workload, scale.String(), cell.Protocol.Name, cfg).Key()
+			res, hit := o.Cache.Do(key, compute)
+			if wlErr != nil {
+				return wlErr
+			}
+			v.Cached = hit
 			v.Events, v.Cycles = res.Kernel.Events, int64(res.TotalTime)
 			if res.Failed() {
 				return fmt.Errorf("%s/%s/%s: %s", cell.Workload, cell.Protocol.Name, cell.Template.Name, res.Errors[0])
@@ -298,6 +330,11 @@ func runCell(pool *machine.Pool, cell Cell, o Options) Verdict {
 // triage classifies and (when deterministic) minimizes a failing cell,
 // persisting the minimized repro into the corpus and annotating the verdict.
 func triage(pool *machine.Pool, cell Cell, v *Verdict, o Options, rerunCount *atomic.Int64) {
+	// Triage bypasses the result cache outright: flake classification is
+	// only meaningful against real re-executions. (Failed results are never
+	// cached anyway; this also keeps a flaky-then-passing re-run from being
+	// served memoized.)
+	o.Cache = nil
 	// Classification: a bit-deterministic simulation reproduces a real
 	// protocol failure identically every time. Divergence across re-runs
 	// means the process, not the protocol, is sick.
@@ -410,12 +447,12 @@ func (o Options) params() Params {
 func Aggregate(verdicts []Verdict) stats.Table {
 	t := stats.Table{
 		Title:  "Soak campaign",
-		Header: []string{"workload", "protocol", "template", "cells", "ok", "fail", "events", "cycles"},
+		Header: []string{"workload", "protocol", "template", "cells", "ok", "fail", "events", "cycles", "cached"},
 	}
 	type agg struct {
-		cells, ok, fail int
-		events          uint64
-		cycles          int64
+		cells, ok, fail, cached int
+		events                  uint64
+		cycles                  int64
 	}
 	groups := make(map[[3]string]*agg)
 	var order [][3]string
@@ -437,6 +474,10 @@ func Aggregate(verdicts []Verdict) stats.Table {
 			g.fail++
 			tot.fail++
 		}
+		if v.Cached {
+			g.cached++
+			tot.cached++
+		}
 		g.events += v.Events
 		tot.events += v.Events
 		g.cycles += v.Cycles
@@ -445,7 +486,7 @@ func Aggregate(verdicts []Verdict) stats.Table {
 	row := func(name [3]string, g *agg) {
 		t.AddRow(name[0], name[1], name[2],
 			fmt.Sprint(g.cells), fmt.Sprint(g.ok), fmt.Sprint(g.fail),
-			fmt.Sprint(g.events), fmt.Sprint(g.cycles))
+			fmt.Sprint(g.events), fmt.Sprint(g.cycles), fmt.Sprint(g.cached))
 	}
 	for _, k := range order {
 		row(k, groups[k])
